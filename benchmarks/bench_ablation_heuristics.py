@@ -1,0 +1,112 @@
+"""Ablation (extension beyond the paper): per-heuristic contribution and
+Heuristic-I fill values.
+
+The paper evaluates only B (none) and E (both).  This bench also runs
+H1-only and H2-only on a shared fault population, and compares fill
+values for Heuristic I (section 4.2 says 0 was chosen "because the memory
+often contains a lot of 0s" and defers alternatives to future work).
+"""
+
+import os
+
+from repro.apps import make_app
+from repro.core import LETGO_B, LETGO_E, LETGO_H1, LETGO_H2, LetGoConfig
+from repro.faultinject import run_paired_campaigns
+from repro.reporting import ascii_table, pct
+
+from conftest import SEED, write_artifact
+
+N = int(os.environ.get("REPRO_BENCH_N", "150"))
+
+#: The ablation target: PENNANT crashes both via data pointers (H1
+#: territory) and via frame registers (H2 territory).
+APP = "pennant"
+
+
+def build_variant_table(app):
+    results = run_paired_campaigns(
+        app, N, SEED, configs=[LETGO_B, LETGO_H1, LETGO_H2, LETGO_E]
+    )
+    rows = []
+    summary = {}
+    for name in ("LetGo-B", "LetGo-H1", "LetGo-H2", "LetGo-E"):
+        m = results[name].metrics()
+        summary[name] = m
+        rows.append(
+            [
+                name,
+                pct(m.continuability.value),
+                pct(m.continued_correct.value),
+                pct(m.continued_detected.value),
+                pct(m.continued_sdc.value),
+            ]
+        )
+    text = ascii_table(
+        ["Variant", "Continuability", "Correct", "Detected", "SDC"],
+        rows,
+        title=f"Heuristic ablation on {APP.upper()} (paired, n={N})",
+    )
+    return summary, text
+
+
+def test_ablation_heuristic_variants(benchmark):
+    app = make_app(APP)
+    summary, text = benchmark.pedantic(
+        build_variant_table, args=(app,), rounds=1, iterations=1
+    )
+    print("\n" + text)
+    write_artifact("ablation_heuristics.txt", text)
+
+    b = summary["LetGo-B"].continuability.value
+    e = summary["LetGo-E"].continuability.value
+    h1 = summary["LetGo-H1"].continuability.value
+    h2 = summary["LetGo-H2"].continuability.value
+    # E is the envelope of the single-heuristic variants (within noise)
+    assert e >= max(h1, h2) - 0.05
+    # all variants elide at least what plain PC-advance does (within noise)
+    assert min(h1, h2) >= b - 0.10
+    assert summary["LetGo-E"].crash_count == summary["LetGo-B"].crash_count
+
+
+def build_fill_table(app):
+    fills = [0, 1, -1]
+    rows = []
+    outcomes = {}
+    for fill in fills:
+        config = LetGoConfig(
+            name=f"fill={fill}",
+            heuristic1=True,
+            heuristic2=True,
+            fill_int=fill,
+            fill_float=float(fill),
+        )
+        result = run_paired_campaigns(app, N, SEED, configs=[config])[config.name]
+        m = result.metrics()
+        outcomes[fill] = m
+        rows.append(
+            [
+                str(fill),
+                pct(m.continuability.value),
+                pct(m.continued_correct.value),
+                pct(m.continued_sdc.value),
+            ]
+        )
+    text = ascii_table(
+        ["Fill value", "Continuability", "Correct", "SDC"],
+        rows,
+        title=f"Heuristic-I fill-value ablation on {APP.upper()} (n={N})",
+    )
+    return outcomes, text
+
+
+def test_ablation_fill_values(benchmark):
+    app = make_app(APP)
+    outcomes, text = benchmark.pedantic(
+        build_fill_table, args=(app,), rounds=1, iterations=1
+    )
+    print("\n" + text)
+    write_artifact("ablation_fill_values.txt", text)
+    # 0 (the paper's default) is at least as good on correctness as the
+    # alternatives, within noise
+    zero = outcomes[0].continued_correct.value
+    assert zero >= max(o.continued_correct.value for o in outcomes.values()) - 0.15

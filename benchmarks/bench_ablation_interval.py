@@ -1,0 +1,58 @@
+"""Ablation (extension): checkpoint-interval sensitivity around Young's
+optimum.
+
+Table 4 justifies Young's formula via El-Sayed & Schroeder ("checkpointing
+under Young's formula achieves almost identical performance as more
+sophisticated schemes").  This bench sweeps interval multipliers for both
+machines and verifies the efficiency curve is flat-topped near 1.0x.
+"""
+
+from repro.crsim import (
+    PAPER_APP_PARAMS,
+    SystemParams,
+    YEAR,
+    sweep_interval_multiplier,
+)
+from repro.reporting import ascii_table
+
+from conftest import write_artifact
+
+SYSTEM = SystemParams(t_chk=120.0, mtbfaults=21600.0)
+NEEDED = 2 * YEAR
+
+
+def build_sweep():
+    points = sweep_interval_multiplier(
+        PAPER_APP_PARAMS["lulesh"],
+        SYSTEM,
+        multipliers=(0.25, 0.5, 1.0, 2.0, 4.0),
+        needed=NEEDED,
+        seed=3,
+    )
+    rows = [
+        [f"{p.multiplier:.2f}x", f"{p.interval:,.0f}s", f"{p.standard:.4f}",
+         f"{p.letgo:.4f}"]
+        for p in points
+    ]
+    text = ascii_table(
+        ["Interval", "T (std)", "Standard C/R", "C/R + LetGo"],
+        rows,
+        title="Interval-sensitivity ablation around Young's optimum (LULESH)",
+    )
+    return points, text
+
+
+def test_ablation_youngs_interval(benchmark):
+    points, text = benchmark.pedantic(build_sweep, rounds=1, iterations=1)
+    print("\n" + text)
+    write_artifact("ablation_interval.txt", text)
+
+    by_mult = {p.multiplier: p for p in points}
+    for field in ("standard", "letgo"):
+        at_young = getattr(by_mult[1.0], field)
+        best = max(getattr(p, field) for p in points)
+        worst = min(getattr(p, field) for p in points)
+        # Young's choice within 2 points of the sampled optimum...
+        assert at_young >= best - 0.02, field
+        # ...and the sweep actually has curvature (extremes are worse)
+        assert best - worst > 0.005, field

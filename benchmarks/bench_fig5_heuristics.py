@@ -1,0 +1,66 @@
+"""Figure 5 (a-d): LetGo-B vs LetGo-E on the four Eq.1-4 metrics.
+
+Paper: LetGo-E improves Continuability by ~14 points on average and
+Continued_correct by ~4-5 points, without increasing Continued_SDC on
+average.  Campaigns are paired (identical fault populations), so the
+comparison is tight even at moderate N.
+"""
+
+from repro.apps import app_names
+from repro.reporting import ascii_table, pct_ci
+
+from conftest import BENCH_N, write_artifact
+
+METRICS = ["continuability", "continued_detected", "continued_correct", "continued_sdc"]
+
+
+def build_figure(iterative_campaigns):
+    rows = []
+    means = {("LetGo-B", m): 0.0 for m in METRICS}
+    means.update({("LetGo-E", m): 0.0 for m in METRICS})
+    for name in app_names(iterative_only=True):
+        for config in ("LetGo-B", "LetGo-E"):
+            metrics = iterative_campaigns[name][config].metrics()
+            cells = []
+            for metric in METRICS:
+                value = getattr(metrics, metric)
+                cells.append(pct_ci(value.value, value.half_width))
+                means[(config, metric)] += value.value / 5
+            rows.append([name.upper(), config] + cells)
+    for config in ("LetGo-B", "LetGo-E"):
+        rows.append(
+            [
+                "AVERAGE",
+                config,
+            ]
+            + [f"{100 * means[(config, m)]:.2f}%" for m in METRICS]
+        )
+    text = ascii_table(
+        ["Benchmark", "Config", "Continuability", "Cont_detected",
+         "Cont_correct", "Cont_SDC"],
+        rows,
+        title=f"Figure 5: LetGo-B vs LetGo-E (paired campaigns, n={BENCH_N}/app)",
+    )
+    return means, text
+
+
+def test_fig5_b_vs_e(benchmark, iterative_campaigns):
+    means, text = benchmark.pedantic(
+        build_figure, args=(iterative_campaigns,), rounds=1, iterations=1
+    )
+    print("\n" + text)
+    write_artifact("fig5_heuristics.txt", text)
+
+    # Figure-5 shapes: E >= B on continuability and continued_correct
+    assert means[("LetGo-E", "continuability")] >= means[("LetGo-B", "continuability")] - 0.02
+    assert means[("LetGo-E", "continued_correct")] >= means[("LetGo-B", "continued_correct")] - 0.02
+    # and E does not blow up the silent-corruption share
+    assert means[("LetGo-E", "continued_sdc")] <= means[("LetGo-B", "continued_sdc")] + 0.10
+    # all metrics are probabilities and continuability decomposes
+    for config in ("LetGo-B", "LetGo-E"):
+        total = (
+            means[(config, "continued_detected")]
+            + means[(config, "continued_correct")]
+            + means[(config, "continued_sdc")]
+        )
+        assert abs(total - means[(config, "continuability")]) < 1e-9

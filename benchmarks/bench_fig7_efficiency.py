@@ -1,0 +1,63 @@
+"""Figure 7: C/R efficiency with and without LetGo vs checkpoint overhead.
+
+Paper setup: MTBFaults = 21600 s (MTBF 12 h), sync overhead 10%, T_chk in
+{12, 120, 1200} s, shown for LULESH (largest gain) and SNAP (smallest).
+Expected shape: efficiency decreases as T_chk grows; the LetGo gain
+*increases* with T_chk; gains between ~1% and ~11% absolute.
+"""
+
+from repro.crsim import PAPER_APP_PARAMS, YEAR, sweep_checkpoint_overhead
+from repro.reporting import ascii_table
+
+from conftest import write_artifact
+
+NEEDED = 2 * YEAR
+SEEDS = [1, 2, 3]
+
+
+def build_figure():
+    rows = []
+    series = {}
+    for name in ("lulesh", "snap"):
+        comparisons = sweep_checkpoint_overhead(
+            PAPER_APP_PARAMS[name], needed=NEEDED, seeds=SEEDS
+        )
+        series[name] = comparisons
+        for c in comparisons:
+            rows.append(
+                [
+                    name.upper(),
+                    f"{c.t_chk:.0f}s",
+                    f"{c.standard:.4f}",
+                    f"{c.letgo:.4f}",
+                    f"{c.gain_absolute:+.4f}",
+                    f"{c.gain_relative:.3f}x",
+                ]
+            )
+    text = ascii_table(
+        ["App", "T_chk", "Standard C/R", "C/R + LetGo", "abs gain", "rel gain"],
+        rows,
+        title="Figure 7: efficiency vs checkpoint overhead (MTBFaults=21600s, sync=10%)",
+    )
+    return series, text
+
+
+def test_fig7_checkpoint_overhead(benchmark):
+    series, text = benchmark.pedantic(build_figure, rounds=1, iterations=1)
+    print("\n" + text)
+    write_artifact("fig7_efficiency.txt", text)
+
+    for name, comparisons in series.items():
+        gains = [c.gain_absolute for c in comparisons]
+        standards = [c.standard for c in comparisons]
+        # LetGo wins everywhere
+        assert all(g > 0 for g in gains), name
+        # the gain grows with checkpoint overhead
+        assert gains[0] < gains[2], name
+        # absolute efficiency decreases with checkpoint overhead
+        assert standards[0] > standards[1] > standards[2], name
+        # gains live in the paper's 1%-11% ballpark (wide slack)
+        assert 0.001 < gains[0] < 0.05
+        assert 0.02 < gains[2] < 0.20
+    # LULESH gains at least comparably to SNAP at the small-T_chk end
+    assert series["lulesh"][0].gain_absolute >= series["snap"][0].gain_absolute - 0.01

@@ -1,0 +1,64 @@
+"""Figure 8: efficiency as the system scales from 100k to 400k nodes.
+
+MTBF shrinks inversely with node count (12 h at 100k nodes).  Shown for
+CLAMR and PENNANT at T_chk = 12 s and 1200 s, as in the paper.  Expected
+shape: efficiency falls with scale for both schemes, but the *rate of
+decrease is lower with LetGo*.
+"""
+
+from repro.crsim import PAPER_APP_PARAMS, YEAR, sweep_system_scale
+from repro.reporting import ascii_table
+
+from conftest import write_artifact
+
+NEEDED = 2 * YEAR
+SEEDS = [1, 2, 3]
+
+
+def build_figure():
+    rows = []
+    series = {}
+    for name in ("clamr", "pennant"):
+        for t_chk in (12.0, 1200.0):
+            points = sweep_system_scale(
+                PAPER_APP_PARAMS[name], t_chk=t_chk, needed=NEEDED, seeds=SEEDS
+            )
+            series[(name, t_chk)] = points
+            for nodes, c in points:
+                rows.append(
+                    [
+                        name.upper(),
+                        f"{t_chk:.0f}s",
+                        f"{nodes:,}",
+                        f"{c.standard:.4f}",
+                        f"{c.letgo:.4f}",
+                        f"{c.gain_absolute:+.4f}",
+                    ]
+                )
+    text = ascii_table(
+        ["App", "T_chk", "Nodes", "Standard C/R", "C/R + LetGo", "abs gain"],
+        rows,
+        title="Figure 8: efficiency vs system scale (MTBF 12h at 100k nodes)",
+    )
+    return series, text
+
+
+def test_fig8_system_scaling(benchmark):
+    series, text = benchmark.pedantic(build_figure, rounds=1, iterations=1)
+    print("\n" + text)
+    write_artifact("fig8_scaling.txt", text)
+
+    for (name, t_chk), points in series.items():
+        standard = [c.standard for _, c in points]
+        letgo = [c.letgo for _, c in points]
+        label = f"{name}@{t_chk}"
+        # efficiency decreases as the system scales
+        assert standard[0] > standard[-1], label
+        assert letgo[0] > letgo[-1], label
+        # LetGo wins at every scale
+        assert all(lg > st for lg, st in zip(letgo, standard)), label
+        # LetGo's efficiency degrades more slowly (the paper's key claim)
+        assert (standard[0] - standard[-1]) > (letgo[0] - letgo[-1]), label
+        # and the gain widens with scale
+        gains = [c.gain_absolute for _, c in points]
+        assert gains[-1] > gains[0], label

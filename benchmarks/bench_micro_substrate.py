@@ -1,0 +1,104 @@
+"""Microbenchmarks of the substrate (pytest-benchmark proper).
+
+Times the building blocks every experiment leans on: interpreter
+throughput, compile time, loader, profiler, one injection run, one C/R
+simulation.  These are the numbers that determine how large a campaign a
+given time budget can afford.
+"""
+
+import pytest
+
+from repro.analysis import FunctionTable, profile_program
+from repro.core import LETGO_E
+from repro.crsim import PAPER_APP_PARAMS, SystemParams, simulate_letgo
+from repro.faultinject import InjectionPlan, run_injection
+from repro.isa import assemble, disassemble, encode_program, decode_program
+from repro.lang import compile_unit
+from repro.machine import Process
+
+TIGHT_LOOP = """
+.text
+.entry main
+.func main
+main:
+    movi r1, #0
+    movi r2, #200000
+loop:
+    addi r1, r1, #1
+    slt r3, r1, r2
+    bnez r3, loop
+    movi r0, #0
+    halt
+"""
+
+
+def test_interpreter_throughput(benchmark):
+    program = assemble(TIGHT_LOOP)
+
+    def run():
+        process = Process.load(program)
+        process.run(10**7)
+        return process.cpu.instret
+
+    instret = benchmark(run)
+    assert instret == 600_004
+
+
+def test_compile_pennant(benchmark, apps):
+    source = apps["pennant"].source
+    unit = benchmark(lambda: compile_unit(source, "pennant"))
+    assert unit.program.functions
+
+
+def test_assemble_disassemble_roundtrip(benchmark, apps):
+    program = apps["pennant"].program
+    text = disassemble(program)
+    back = benchmark(lambda: assemble(text))
+    assert back.instrs == program.instrs
+
+
+def test_encode_decode_image(benchmark, apps):
+    program = apps["comd"].program
+    blob = encode_program(program)
+    back = benchmark(lambda: decode_program(blob))
+    assert back.checksum() == program.checksum()
+
+
+def test_loader(benchmark, apps):
+    program = apps["lulesh"].program
+    process = benchmark(lambda: Process.load(program))
+    assert process.cpu.pc == program.entry_pc
+
+
+def test_profiler_run(benchmark, apps):
+    program = apps["pennant"].program
+    profile = benchmark.pedantic(
+        lambda: profile_program(program), rounds=2, iterations=1
+    )
+    assert profile.total == apps["pennant"].golden.instret
+
+
+def test_function_table_build(benchmark, apps):
+    program = apps["snap"].program
+    table = benchmark(lambda: FunctionTable(program))
+    assert len(table) > 3
+
+
+def test_single_injection_run(benchmark, apps):
+    app = apps["pennant"]
+    plan = InjectionPlan(dyn_index=20_000, bit=45, reg_choice=0.5)
+    result = benchmark.pedantic(
+        lambda: run_injection(app, plan, LETGO_E), rounds=3, iterations=1
+    )
+    assert result.outcome is not None
+
+
+def test_crsim_one_run(benchmark):
+    system = SystemParams(t_chk=120.0, mtbfaults=21600.0)
+    month = 30 * 24 * 3600.0
+    result = benchmark.pedantic(
+        lambda: simulate_letgo(system, PAPER_APP_PARAMS["lulesh"], needed=month, seed=1),
+        rounds=3,
+        iterations=1,
+    )
+    assert result.useful >= month

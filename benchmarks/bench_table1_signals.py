@@ -1,0 +1,39 @@
+"""Table 1: gdb signal handling information redefined by LetGo.
+
+Regenerates the signal-disposition table the monitor installs and checks
+it row-by-row against the paper.
+"""
+
+from repro.core import LETGO_E, Monitor
+from repro.machine import Signal
+from repro.reporting import ascii_table
+
+from conftest import write_artifact
+
+PAPER_ROWS = {
+    "SIGSEGV": ("Yes", "No", "Segfault"),
+    "SIGBUS": ("Yes", "No", "Bus error"),
+    "SIGABRT": ("Yes", "No", "Aborted"),
+}
+
+
+def build_table():
+    monitor = Monitor(LETGO_E)
+    rows = [policy.row() for policy in monitor.signal_table()]
+    return rows, ascii_table(
+        ["Signal", "Stop", "Pass to program", "Description"],
+        rows,
+        title="Table 1: signal handling redefined by LetGo",
+    )
+
+
+def test_table1_signal_dispositions(benchmark):
+    rows, text = benchmark.pedantic(build_table, rounds=1, iterations=1)
+    print("\n" + text)
+    write_artifact("table1_signals.txt", text)
+    by_name = {r[0]: r[1:] for r in rows}
+    for signal, expected in PAPER_ROWS.items():
+        assert by_name[signal] == expected, signal
+    # SIGFPE stays on the default path (not in the paper's table)
+    assert by_name["SIGFPE"][0] == "No"
+    assert len(rows) == len(Signal)

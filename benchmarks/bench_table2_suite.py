@@ -1,0 +1,61 @@
+"""Table 2: benchmark suite description.
+
+Regenerates the suite table: domain, dynamic instruction count, SDC
+comparison data, and acceptance-check criterion per application.
+"""
+
+from repro.apps import APP_CLASSES
+from repro.reporting import ascii_table
+
+from conftest import write_artifact
+
+#: Table-2 column text per app (criterion summaries match the paper's).
+CRITERIA = {
+    "lulesh": "iterations exact; origin energy to 6 digits; symmetry < 1e-8",
+    "clamr": "threshold for the mass change per iteration",
+    "hpl": "residual check on the solution vector",
+    "comd": "energy conservation",
+    "snap": "flux solution output symmetric",
+    "pennant": "energy conservation",
+}
+
+SDC_DATA = {
+    "lulesh": "Mesh (zone energies)",
+    "clamr": "Mesh (cells, heights, widths)",
+    "hpl": "Solution vector",
+    "comd": "Each atom's property",
+    "snap": "Flux solution",
+    "pennant": "Mesh (energies, positions)",
+}
+
+
+def build_table(apps):
+    rows = []
+    for cls in APP_CLASSES:
+        app = apps[cls.name]
+        rows.append(
+            [
+                app.name,
+                app.domain,
+                f"{app.golden.instret:,}",
+                SDC_DATA[app.name],
+                CRITERIA[app.name],
+            ]
+        )
+    return rows, ascii_table(
+        ["App", "Domain", "Dyn. instrs", "SDC data", "Acceptance check"],
+        rows,
+        title="Table 2: benchmark description",
+    )
+
+
+def test_table2_suite_description(benchmark, apps):
+    rows, text = benchmark.pedantic(
+        build_table, args=(apps,), rounds=1, iterations=1
+    )
+    print("\n" + text)
+    write_artifact("table2_suite.txt", text)
+    assert len(rows) == 6
+    # every app's acceptance check passes its own golden run
+    for app in apps.values():
+        assert app.acceptance_check(list(app.golden.output))

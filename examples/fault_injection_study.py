@@ -1,0 +1,86 @@
+"""Fault-injection study: a small Table-3-style campaign on one app.
+
+Runs paired LetGo-B / LetGo-E campaigns (identical fault populations) on
+the PENNANT proxy, prints the outcome breakdown, the Eq. 1-4 metrics with
+95% confidence intervals, and the Table-4 parameters the campaign yields
+for the checkpoint/restart simulation.
+
+Run:  python examples/fault_injection_study.py [n_injections]
+"""
+
+import sys
+
+from repro.apps import make_app
+from repro.core import LETGO_B, LETGO_E
+from repro.faultinject import run_paired_campaigns
+from repro.reporting import ascii_table, pct, pct_ci
+
+
+def main() -> None:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 120
+    app = make_app("pennant")
+    print(f"profiling {app.name}: {app.golden.instret:,} dynamic instructions")
+    print(f"running 2 x {n} paired injections (single bit flips)...\n")
+
+    campaigns = run_paired_campaigns(
+        app, n, seed=7, configs=[LETGO_B, LETGO_E]
+    )
+
+    rows = []
+    for name, campaign in campaigns.items():
+        row = campaign.table3_row()
+        rows.append(
+            [name]
+            + [
+                pct(row[c])
+                for c in (
+                    "detected",
+                    "benign",
+                    "sdc",
+                    "double_crash",
+                    "c_detected",
+                    "c_benign",
+                    "c_sdc",
+                )
+            ]
+        )
+    print(
+        ascii_table(
+            ["Config", "Detected", "Benign", "SDC", "DblCrash",
+             "C-Detected", "C-Benign", "C-SDC"],
+            rows,
+            title=f"Outcome breakdown ({app.name}, n={n} per config)",
+        )
+    )
+
+    print()
+    metric_rows = []
+    for name, campaign in campaigns.items():
+        m = campaign.metrics()
+        metric_rows.append(
+            [
+                name,
+                pct_ci(m.continuability.value, m.continuability.half_width),
+                pct_ci(m.continued_correct.value, m.continued_correct.half_width),
+                pct_ci(m.continued_detected.value, m.continued_detected.half_width),
+                pct_ci(m.continued_sdc.value, m.continued_sdc.half_width),
+            ]
+        )
+    print(
+        ascii_table(
+            ["Config", "Continuability", "Correct", "Detected", "SDC"],
+            metric_rows,
+            title="Eq. 1-4 metrics (fractions of crash-origin runs)",
+        )
+    )
+
+    e = campaigns["LetGo-E"]
+    print("\nTable-4 parameters estimated from the LetGo-E campaign:")
+    print(f"  P_crash = {e.estimate_p_crash():.3f}")
+    print(f"  P_v     = {e.estimate_p_v():.3f}")
+    print(f"  P_v'    = {e.estimate_p_v_prime():.3f}")
+    print(f"  P_letgo = {e.estimate_p_letgo():.3f}")
+
+
+if __name__ == "__main__":
+    main()

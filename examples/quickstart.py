@@ -1,0 +1,58 @@
+"""Quickstart: watch LetGo elide a crash that would kill an application.
+
+Loads the LULESH proxy app, picks a fault that provably crashes the
+baseline run, then replays the *same* fault under LetGo-E and prints what
+the monitor/modifier did and how the application's own acceptance check
+judged the continued run.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.apps import make_app
+from repro.core import LETGO_E
+from repro.faultinject import InjectionPlan, Outcome, run_injection
+
+
+def main() -> None:
+    app = make_app("lulesh")
+    print(f"app: {app.describe()}")
+    print(f"golden acceptance check passes: "
+          f"{app.acceptance_check(list(app.golden.output))}")
+
+    # Scan a few planned faults until one crashes the unprotected run.
+    crashing_plan = None
+    for dyn_index in range(10_000, app.golden.instret, 7_919):
+        plan = InjectionPlan(dyn_index=dyn_index, bit=45, reg_choice=0.5)
+        baseline = run_injection(app, plan, config=None)
+        if baseline.outcome is Outcome.CRASH:
+            crashing_plan = plan
+            print(
+                f"\nfault at dynamic instruction {dyn_index} "
+                f"(bit {plan.bit} of {baseline.target_reg}) crashes the "
+                f"baseline with {baseline.first_signal.name} "
+                f"after {baseline.steps:,} instructions"
+            )
+            break
+    if crashing_plan is None:
+        raise SystemExit("no crashing fault found in the scan (unexpected)")
+
+    # Same fault, but the process runs under LetGo-E.
+    letgo = run_injection(app, crashing_plan, config=LETGO_E)
+    print(f"under {LETGO_E.describe()}:")
+    print(f"  outcome: {letgo.outcome.value}")
+    print(f"  interventions: {letgo.interventions}")
+    print(f"  instructions retired: {letgo.steps:,}")
+    if letgo.outcome.continued:
+        verdict = {
+            Outcome.C_BENIGN: "output identical to the fault-free run",
+            Outcome.C_SDC: "output differs but passed the acceptance check",
+            Outcome.C_DETECTED: "the acceptance check caught the corruption",
+        }[letgo.outcome]
+        print(f"  -> crash elided; {verdict}")
+    else:
+        print("  -> LetGo gave up (double crash); a C/R system would "
+              "restart from the last checkpoint, exactly as without LetGo")
+
+
+if __name__ == "__main__":
+    main()

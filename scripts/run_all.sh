@@ -1,0 +1,8 @@
+#!/usr/bin/env bash
+# Full verification: test suite + every paper table/figure bench.
+# Outputs land in test_output.txt / bench_output.txt and
+# benchmarks/results/*.txt.
+set -u
+cd "$(dirname "$0")/.."
+python3 -m pytest tests/ 2>&1 | tee test_output.txt
+python3 -m pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The build environment is offline and has no ``wheel`` package, so the
+PEP-517 editable path (which needs ``bdist_wheel``) is unavailable.  This
+shim lets ``pip install -e . --no-use-pep517 --no-build-isolation`` use the
+classic ``setup.py develop`` route.  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,123 @@
+"""Function-table and stack-frame static analysis (the PIN substitute).
+
+LetGo's Heuristic II needs, for the function containing the faulting PC,
+the stack-frame size the compiler allocated -- i.e. the ``N`` in the
+x86 prologue of the paper's Listing 1::
+
+    push %rbp
+    mov  %rsp, %rbp
+    sub  $0x290, %rsp
+
+Our compiler emits the same idiom (``push bp; mov bp, sp; subi sp, sp, #N``)
+and this module recovers ``N`` by scanning the first instructions of each
+function, exactly how the paper describes using PIN's disassembler.  The
+analysis needs only the program image -- no source, no debug info.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass
+
+from repro.errors import AnalysisError
+from repro.isa.instructions import Instr, Op
+from repro.isa.program import Program
+from repro.isa.registers import BP, SP
+
+#: How many instructions into a function the prologue scan looks.
+PROLOGUE_WINDOW = 6
+
+
+@dataclass(frozen=True)
+class FunctionInfo:
+    """Static facts about one function."""
+
+    name: str
+    start: int          # entry PC
+    end: int            # one past the last instruction (next function / image end)
+    frame_size: int     # bytes allocated by the prologue SUBI, 0 if none
+    has_frame: bool     # True if the full push/mov/subi idiom was found
+
+    def __contains__(self, pc: int) -> bool:
+        return self.start <= pc < self.end
+
+
+def _scan_prologue(instrs: list[Instr], start: int, end: int) -> tuple[int, bool]:
+    """Return (frame_size, has_full_prologue) for a function body."""
+    saw_push_bp = False
+    saw_mov_bp_sp = False
+    for pc in range(start, min(end, start + PROLOGUE_WINDOW)):
+        ins = instrs[pc]
+        if ins.op is Op.PUSH and ins.ra == BP:
+            saw_push_bp = True
+        elif ins.op is Op.MOV and ins.rd == BP and ins.ra == SP:
+            saw_mov_bp_sp = True
+        elif ins.op is Op.SUBI and ins.rd == SP and ins.ra == SP:
+            size = int(ins.imm)
+            return (size if size > 0 else 0, saw_push_bp and saw_mov_bp_sp)
+    return 0, saw_push_bp and saw_mov_bp_sp
+
+
+class FunctionTable:
+    """Function extents + frame sizes for a program image.
+
+    Built once per image; lookups are O(log n) by PC.
+    """
+
+    def __init__(self, program: Program):
+        if not program.functions:
+            raise AnalysisError("program has no function symbols")
+        self.program = program
+        ordered = sorted((pc, name) for name, pc in program.functions.items())
+        n_instrs = len(program.instrs)
+        self._starts = [pc for pc, _ in ordered]
+        self._infos: list[FunctionInfo] = []
+        for i, (start, name) in enumerate(ordered):
+            end = ordered[i + 1][0] if i + 1 < len(ordered) else n_instrs
+            frame, full = _scan_prologue(program.instrs, start, end)
+            self._infos.append(
+                FunctionInfo(
+                    name=name,
+                    start=start,
+                    end=end,
+                    frame_size=frame,
+                    has_frame=full or frame > 0,
+                )
+            )
+
+    # -- queries ------------------------------------------------------------
+
+    def function_at(self, pc: int) -> FunctionInfo:
+        """The function whose extent contains *pc*.
+
+        Raises :class:`AnalysisError` if *pc* precedes the first function
+        or is outside the image.
+        """
+        if pc < 0 or pc >= len(self.program.instrs):
+            raise AnalysisError(f"pc {pc} outside image")
+        i = bisect_right(self._starts, pc) - 1
+        if i < 0:
+            raise AnalysisError(f"pc {pc} precedes the first function")
+        return self._infos[i]
+
+    def by_name(self, name: str) -> FunctionInfo:
+        """Lookup by symbol name."""
+        for info in self._infos:
+            if info.name == name:
+                return info
+        raise AnalysisError(f"unknown function {name!r}")
+
+    def frame_size_at(self, pc: int) -> int:
+        """Frame bytes allocated by the function containing *pc*."""
+        return self.function_at(pc).frame_size
+
+    @property
+    def functions(self) -> tuple[FunctionInfo, ...]:
+        """All functions sorted by entry PC."""
+        return tuple(self._infos)
+
+    def __len__(self) -> int:
+        return len(self._infos)
+
+
+__all__ = ["FunctionTable", "FunctionInfo", "PROLOGUE_WINDOW"]

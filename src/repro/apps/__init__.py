@@ -1,0 +1,32 @@
+"""The six-benchmark suite mirroring the paper's Table 2.
+
+Five iterative/convergent applications (LULESH, CLAMR, CoMD, SNAP,
+PENNANT analogues) plus one direct method (HPL analogue), each compiled
+from MiniC with its own result-acceptance check and SDC-comparison data.
+"""
+
+from repro.apps.base import GoldenRun, MiniApp, Output, pack_output
+from repro.apps.clamr import Clamr
+from repro.apps.comd import Comd
+from repro.apps.hpl import Hpl
+from repro.apps.lulesh import Lulesh
+from repro.apps.pennant import Pennant
+from repro.apps.registry import APP_CLASSES, all_apps, app_names, make_app
+from repro.apps.snap import Snap
+
+__all__ = [
+    "MiniApp",
+    "GoldenRun",
+    "Output",
+    "pack_output",
+    "Lulesh",
+    "Clamr",
+    "Hpl",
+    "Comd",
+    "Snap",
+    "Pennant",
+    "APP_CLASSES",
+    "app_names",
+    "make_app",
+    "all_apps",
+]

@@ -1,0 +1,193 @@
+"""Mini-application framework.
+
+Each app mirrors one of the paper's DOE proxy applications (Table 2): it
+carries MiniC source, a *result acceptance check* written against the
+app's own verification specification (energy conservation, residual norm,
+symmetry...), and a definition of which output data is compared bitwise
+against the golden run to call an undetected-wrong result an SDC.
+
+The acceptance checks deliberately receive only the program output -- they
+model the checks application developers ship, which cannot consult a
+golden run.  Any reference constants they use (expected iteration counts,
+analytic energies) are hard-coded per app, exactly like the "Final Origin
+Energy" check in real LULESH.
+"""
+
+from __future__ import annotations
+
+import struct
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from functools import cached_property
+
+from repro.analysis.functions import FunctionTable
+from repro.analysis.profiler import Profile, profile_program
+from repro.isa.program import Program
+from repro.lang.compiler import CompiledUnit, compile_unit
+from repro.machine.process import Process
+
+Output = list[tuple[str, int | float]]
+
+# Compilation and golden profiling are deterministic functions of the
+# source text; share them across app instances (tests, CLI, benches all
+# instantiate apps freely).
+_UNIT_CACHE: dict[str, CompiledUnit] = {}
+_PROFILE_CACHE: dict[str, Profile] = {}
+
+
+@dataclass(frozen=True)
+class GoldenRun:
+    """Reference run facts: output stream, dynamic instructions, exit code."""
+
+    output: tuple[tuple[str, int | float], ...]
+    instret: int
+    exit_code: int
+
+
+def pack_output(values: tuple | list, digits: int | None = None) -> bytes:
+    """Bitwise-stable serialization of an output slice (SDC comparison).
+
+    Floats compare by IEEE bit pattern (so ``-0.0 != 0.0`` and NaN compares
+    equal to itself), ints by two's-complement value -- the paper's
+    "bit-wise comparison" of application data.
+
+    ``digits`` models the *printed-output* granularity the original diffed:
+    real applications emit their result data with finite precision, so a
+    perturbation below the last printed digit is invisible.  When set,
+    floats are rounded to that many significant decimal digits before
+    packing (NaNs canonicalised); ``None`` compares raw 64-bit patterns.
+    """
+    parts: list[bytes] = []
+    for value in values:
+        if isinstance(value, float):
+            if digits is not None:
+                try:
+                    value = float(f"{value:.{digits}g}")
+                except (ValueError, OverflowError):  # pragma: no cover
+                    pass
+            parts.append(b"f" + struct.pack("<d", value))
+        else:
+            parts.append(b"i" + struct.pack("<q", value & ((1 << 64) - 1)))
+    return b"".join(parts)
+
+
+class MiniApp(ABC):
+    """One benchmark application.
+
+    Subclasses provide the MiniC source and the Table-2 semantics; this
+    base class owns compilation, golden-run and analysis caching.
+    """
+
+    #: Short identifier, e.g. ``"lulesh"``.
+    name: str = ""
+    #: Application domain, straight from Table 2.
+    domain: str = ""
+    #: True for convergence-based iterative apps; False for direct methods
+    #: (HPL).  Table 3 aggregates only the iterative set.
+    iterative: bool = True
+    #: Multiple of the golden instruction count after which a run is a hang.
+    hang_factor: float = 10.0
+    #: Significant decimal digits the app "prints" its SDC data with; the
+    #: golden comparison happens at this granularity (see pack_output).
+    sdc_digits: int = 9
+
+    # -- source & build ---------------------------------------------------------
+
+    @property
+    @abstractmethod
+    def source(self) -> str:
+        """MiniC source text."""
+
+    @cached_property
+    def unit(self) -> CompiledUnit:
+        """Compiled unit (cached across instances by source text)."""
+        source = self.source
+        unit = _UNIT_CACHE.get(source)
+        if unit is None:
+            unit = compile_unit(source, name=self.name)
+            _UNIT_CACHE[source] = unit
+        return unit
+
+    @property
+    def program(self) -> Program:
+        """The linked image."""
+        return self.unit.program
+
+    def load(self) -> Process:
+        """A fresh process for one run."""
+        return Process.load(self.program)
+
+    # -- golden facts ----------------------------------------------------------
+
+    @cached_property
+    def profile(self) -> Profile:
+        """Golden profiling run (paper's one-time PIN pass), shared
+        across instances of the same source."""
+        source = self.source
+        profile = _PROFILE_CACHE.get(source)
+        if profile is None:
+            profile = profile_program(self.program)
+            _PROFILE_CACHE[source] = profile
+        return profile
+
+    @cached_property
+    def golden(self) -> GoldenRun:
+        """Reference output/instruction count."""
+        prof = self.profile
+        return GoldenRun(
+            output=tuple(prof.output),
+            instret=prof.total,
+            exit_code=prof.exit_code,
+        )
+
+    @cached_property
+    def functions(self) -> FunctionTable:
+        """Static function/frame analysis shared by LetGo runs."""
+        return FunctionTable(self.program)
+
+    @property
+    def max_steps(self) -> int:
+        """Per-run instruction budget (beyond it: hang)."""
+        return int(self.golden.instret * self.hang_factor) + 10_000
+
+    # -- Table 2 semantics ---------------------------------------------------
+
+    @abstractmethod
+    def acceptance_check(self, output: Output) -> bool:
+        """The application's own result-acceptance check.
+
+        Must be robust to malformed output (wrong arity or types count as
+        *detected*, i.e. return False).
+        """
+
+    @abstractmethod
+    def sdc_slice(self, output: Output) -> tuple:
+        """The output subset compared bitwise against golden (Table 2 col 4).
+
+        May assume :meth:`acceptance_check` already passed.
+        """
+
+    # -- derived classification helpers --------------------------------------
+
+    def matches_golden(self, output: Output) -> bool:
+        """Bitwise comparison of the SDC data against the golden run."""
+        try:
+            candidate = self.sdc_slice(output)
+        except (IndexError, TypeError, ValueError):
+            return False
+        reference = self.sdc_slice(list(self.golden.output))
+        return pack_output(candidate, self.sdc_digits) == pack_output(
+            reference, self.sdc_digits
+        )
+
+    # -- misc ------------------------------------------------------------
+
+    def describe(self) -> str:
+        """Short multi-line description (used by the Table-2 bench)."""
+        return (
+            f"{self.name}: {self.domain}; golden {self.golden.instret} dynamic "
+            f"instructions; {len(self.program.instrs)} static instructions"
+        )
+
+
+__all__ = ["MiniApp", "GoldenRun", "Output", "pack_output"]

@@ -1,0 +1,231 @@
+"""CLAMR analogue: cell-based AMR shallow-water hydrodynamics.
+
+A 1-D dam-break problem solved with Lax-Friedrichs fluxes on a cell-based
+adaptively refined mesh: cells split where the height gradient is steep
+(up to two refinement levels) and sibling cells re-merge where the field
+is smooth, with mass and momentum conserved exactly by both the flux-form
+update and the refine/coarsen operators.
+
+CLAMR's built-in acceptance check is a *threshold on the mass change per
+iteration* (Table 2); the analogue reports the largest per-iteration mass
+delta and the host-side check applies the threshold.  The SDC-comparison
+data is the mesh (cell count, heights, widths).
+"""
+
+from __future__ import annotations
+
+from math import isfinite
+
+from repro.apps.base import MiniApp, Output
+
+#: Base cells and the hard array capacity.
+N_BASE = 16
+MAX_CELLS = 64
+#: Fixed number of time steps.
+N_STEPS = 30
+
+_SOURCE = f"""
+// CLAMR analogue: dam break + cell-based AMR, exact mass conservation.
+global int nbase = {N_BASE};
+global int maxc = {MAX_CELLS};
+global int nsteps = {N_STEPS};
+global int ncells = 0;
+global float h[{MAX_CELLS}];    // water height
+global float hu[{MAX_CELLS}];   // momentum
+global float w[{MAX_CELLS}];    // cell width
+global float fh[{MAX_CELLS + 1}];   // interface mass fluxes
+global float fhu[{MAX_CELLS + 1}];  // interface momentum fluxes
+global float grav = 9.8;
+global float cfl = 0.4;
+global float reft = 0.08;       // refine when the h jump exceeds this
+global float cot = 0.02;        // coarsen when siblings differ less
+global float wmin = 0.3;        // never refine below this width
+
+func speed(int i) -> float {{
+    assert(h[i] > 0.0);
+    return fabs(hu[i] / h[i]) + sqrt(grav * h[i]);
+}}
+
+func cell_mass() -> float {{
+    var int i;
+    var float total = 0.0;
+    for (i = 0; i < ncells; i = i + 1) {{ total = total + h[i] * w[i]; }}
+    return total;
+}}
+
+func compute_fluxes() -> int {{
+    var int i;
+    // solid walls: zero mass flux, reflected pressure
+    fh[0] = 0.0;
+    fhu[0] = 0.5 * grav * h[0] * h[0];
+    fh[ncells] = 0.0;
+    fhu[ncells] = 0.5 * grav * h[ncells - 1] * h[ncells - 1];
+    for (i = 1; i < ncells; i = i + 1) {{
+        var float hl = h[i - 1];
+        var float hr = h[i];
+        var float ul = hu[i - 1] / hl;
+        var float ur = hu[i] / hr;
+        var float lam = fmax(fabs(ul) + sqrt(grav * hl),
+                             fabs(ur) + sqrt(grav * hr));
+        fh[i] = 0.5 * (hu[i - 1] + hu[i]) - 0.5 * lam * (hr - hl);
+        fhu[i] = 0.5 * ((hu[i - 1] * ul + 0.5 * grav * hl * hl)
+                      + (hu[i] * ur + 0.5 * grav * hr * hr))
+               - 0.5 * lam * (hu[i] - hu[i - 1]);
+    }}
+    return 0;
+}}
+
+func refine_pass() -> int {{
+    var int i = 0;
+    while (i < ncells) {{
+        var float gl = 0.0;
+        var float gr = 0.0;
+        if (i > 0) {{ gl = fabs(h[i] - h[i - 1]); }}
+        if (i < ncells - 1) {{ gr = fabs(h[i + 1] - h[i]); }}
+        if (fmax(gl, gr) > reft && w[i] > wmin && ncells < maxc) {{
+            assert(ncells < maxc);
+            var int j = ncells;
+            while (j > i + 1) {{
+                h[j] = h[j - 1];
+                hu[j] = hu[j - 1];
+                w[j] = w[j - 1];
+                j = j - 1;
+            }}
+            w[i] = w[i] * 0.5;
+            w[i + 1] = w[i];
+            h[i + 1] = h[i];
+            hu[i + 1] = hu[i];
+            ncells = ncells + 1;
+            i = i + 2;
+        }} else {{
+            i = i + 1;
+        }}
+    }}
+    return 0;
+}}
+
+func coarsen_pass() -> int {{
+    var int i = 0;
+    while (i < ncells - 1) {{
+        // a sibling pair may merge only if the whole neighbourhood is
+        // smooth -- otherwise every fresh refinement (identical halves)
+        // would be undone in the same step
+        var float gout = 0.0;
+        if (i > 0) {{ gout = fabs(h[i] - h[i - 1]); }}
+        if (i + 2 < ncells) {{ gout = fmax(gout, fabs(h[i + 2] - h[i + 1])); }}
+        if (w[i] < 0.9 && w[i] == w[i + 1]
+            && fabs(h[i] - h[i + 1]) < cot && gout < cot) {{
+            var float wm = w[i] + w[i + 1];
+            h[i] = (h[i] * w[i] + h[i + 1] * w[i + 1]) / wm;
+            hu[i] = (hu[i] * w[i] + hu[i + 1] * w[i + 1]) / wm;
+            w[i] = wm;
+            var int j;
+            for (j = i + 1; j < ncells - 1; j = j + 1) {{
+                h[j] = h[j + 1];
+                hu[j] = hu[j + 1];
+                w[j] = w[j + 1];
+            }}
+            ncells = ncells - 1;
+        }}
+        i = i + 1;
+    }}
+    return 0;
+}}
+
+func main() -> int {{
+    var int i;
+    ncells = nbase;
+    for (i = 0; i < ncells; i = i + 1) {{
+        if (i < ncells / 2) {{ h[i] = 2.0; }} else {{ h[i] = 1.0; }}
+        hu[i] = 0.0;
+        w[i] = 1.0;
+    }}
+    var float mass0 = cell_mass();
+    var float prev = mass0;
+    var float maxdelta = 0.0;
+    var int step;
+    for (step = 0; step < nsteps; step = step + 1) {{
+        // CFL time step over the adaptive mesh
+        var float lam = 0.0;
+        var float wsmall = 1.0e9;
+        for (i = 0; i < ncells; i = i + 1) {{
+            var float s = speed(i);
+            if (s > lam) {{ lam = s; }}
+            if (w[i] < wsmall) {{ wsmall = w[i]; }}
+        }}
+        var float dt = cfl * wsmall / lam;
+        compute_fluxes();
+        for (i = 0; i < ncells; i = i + 1) {{
+            h[i] = h[i] - dt / w[i] * (fh[i + 1] - fh[i]);
+            hu[i] = hu[i] - dt / w[i] * (fhu[i + 1] - fhu[i]);
+        }}
+        refine_pass();
+        coarsen_pass();
+        var float mass = cell_mass();
+        var float delta = fabs(mass - prev);
+        if (delta > maxdelta) {{ maxdelta = delta; }}
+        prev = mass;
+    }}
+    out(nsteps);
+    out(ncells);
+    out(mass0);
+    out(prev);
+    out(maxdelta);
+    for (i = 0; i < ncells; i = i + 1) {{ out(h[i]); }}
+    for (i = 0; i < ncells; i = i + 1) {{ out(w[i]); }}
+    return 0;
+}}
+"""
+
+
+class Clamr(MiniApp):
+    """CLAMR analogue with the per-iteration mass-change acceptance check."""
+
+    name = "clamr"
+    domain = "Adaptive mesh refinement"
+
+    #: Threshold for the mass change per iteration (Table 2), relative to
+    #: the initial mass.  The flux-form update conserves to roundoff.
+    MASS_DELTA_RTOL = 1e-11
+    #: Initial mass of the dam-break setup: 8 cells at h=2 + 8 at h=1.
+    EXPECTED_MASS0 = 24.0
+
+    @property
+    def source(self) -> str:
+        return _SOURCE
+
+    def acceptance_check(self, output: Output) -> bool:
+        if len(output) < 5:
+            return False
+        if [k for k, _ in output[:5]] != ["i", "i", "f", "f", "f"]:
+            return False
+        steps, ncells, mass0, massf, maxdelta = (v for _, v in output[:5])
+        if steps != N_STEPS:
+            return False
+        if not (N_BASE <= ncells <= MAX_CELLS):
+            return False
+        if len(output) != 5 + 2 * ncells:
+            return False
+        if any(k != "f" for k, _ in output[5:]):
+            return False
+        if not (isfinite(mass0) and abs(mass0 - self.EXPECTED_MASS0) < 1e-9):
+            return False
+        if not (isfinite(maxdelta) and maxdelta < self.MASS_DELTA_RTOL * self.EXPECTED_MASS0):
+            return False
+        if not (isfinite(massf) and abs(massf - mass0) < 1e-9 * mass0):
+            return False
+        heights = [v for _, v in output[5 : 5 + ncells]]
+        widths = [v for _, v in output[5 + ncells :]]
+        if not all(isfinite(v) and v > 0.0 for v in heights):
+            return False
+        if not all(isfinite(v) and 0.0 < v <= 1.0 for v in widths):
+            return False
+        # The adaptive mesh must still tile the domain.
+        return abs(sum(widths) - float(N_BASE)) < 1e-9
+
+    def sdc_slice(self, output: Output) -> tuple:
+        # The mesh: cell count + heights + widths.
+        return tuple(v for _, v in output[1:2] + output[5:])
+
+
+__all__ = ["Clamr", "N_BASE", "MAX_CELLS", "N_STEPS"]

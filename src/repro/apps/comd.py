@@ -1,0 +1,186 @@
+"""CoMD analogue: classical molecular dynamics (Lennard-Jones chain).
+
+A periodic 1-D Lennard-Jones system integrated with velocity Verlet: atoms
+start on a slightly perturbed lattice, interact through the 12-6 potential
+with a cutoff (energy-shifted so the potential is continuous), and the
+verification criterion -- per CoMD's "verification correctness" section and
+Table 2 -- is **energy conservation**: the total (kinetic + potential)
+energy at the end must match the initial total to a tight relative
+tolerance.  The SDC-comparison data is *each atom's property* (positions
+and velocities), bitwise.
+"""
+
+from __future__ import annotations
+
+from math import isfinite
+
+from repro.apps.base import MiniApp, Output
+
+#: Atom count and integration steps.
+N_ATOMS = 14
+N_STEPS = 30
+
+_SOURCE = f"""
+// CoMD analogue: 1-D periodic Lennard-Jones, velocity Verlet.
+global int natoms = {N_ATOMS};
+global int nsteps = {N_STEPS};
+global float pos[{N_ATOMS}];
+global float vel[{N_ATOMS}];
+global float force[{N_ATOMS}];
+global float mass = 1.0;
+global float dt = 0.001;
+global float boxlen = 0.0;      // natoms * r0, set in main
+global float r0 = 1.122462048309373;   // 2^(1/6): LJ equilibrium spacing
+global float rcut = 2.8;
+global float ecut = 0.0;        // potential shift at the cutoff, set in main
+global float epot = 0.0;        // filled by compute_forces
+global int seed = 7;
+
+func rnd() -> float {{
+    seed = seed * 6364136223846793005 + 1442695040888963407;
+    var int mant = seed % 9007199254740992;
+    if (mant < 0) {{ mant = mant + 9007199254740992; }}
+    return float(mant) / 9007199254740992.0 - 0.5;
+}}
+
+// minimum-image displacement in the periodic box
+func minimg(float d) -> float {{
+    var float r = d;
+    if (r > 0.5 * boxlen) {{ r = r - boxlen; }}
+    if (r < -0.5 * boxlen) {{ r = r + boxlen; }}
+    return r;
+}}
+
+func lj_energy(float r2) -> float {{
+    var float inv2 = 1.0 / r2;
+    var float inv6 = inv2 * inv2 * inv2;
+    return 4.0 * (inv6 * inv6 - inv6) - ecut;
+}}
+
+// dU/dr / r, so that force_i = -pair * dx
+func lj_force_over_r(float r2) -> float {{
+    var float inv2 = 1.0 / r2;
+    var float inv6 = inv2 * inv2 * inv2;
+    return 24.0 * inv2 * (inv6 - 2.0 * inv6 * inv6);
+}}
+
+func compute_forces() -> int {{
+    var int i;
+    var int j;
+    epot = 0.0;
+    for (i = 0; i < natoms; i = i + 1) {{ force[i] = 0.0; }}
+    for (i = 0; i < natoms; i = i + 1) {{
+        for (j = i + 1; j < natoms; j = j + 1) {{
+            var float dx = minimg(pos[i] - pos[j]);
+            var float r2 = dx * dx;
+            if (r2 < rcut * rcut) {{
+                assert(r2 > 0.0);          // overlapping atoms: blow up
+                var float fot = lj_force_over_r(r2);
+                force[i] = force[i] - fot * dx;
+                force[j] = force[j] + fot * dx;
+                epot = epot + lj_energy(r2);
+            }}
+        }}
+    }}
+    return 0;
+}}
+
+func kinetic() -> float {{
+    var int i;
+    var float ke = 0.0;
+    for (i = 0; i < natoms; i = i + 1) {{
+        ke = ke + 0.5 * mass * vel[i] * vel[i];
+    }}
+    return ke;
+}}
+
+func main() -> int {{
+    var int i;
+    boxlen = float(natoms) * r0;
+    // shift so the potential is continuous at the cutoff
+    var float inv2 = 1.0 / (rcut * rcut);
+    var float inv6 = inv2 * inv2 * inv2;
+    ecut = 4.0 * (inv6 * inv6 - inv6);
+    // perturbed lattice, zero initial velocities
+    for (i = 0; i < natoms; i = i + 1) {{
+        pos[i] = float(i) * r0 + 0.05 * rnd();
+        vel[i] = 0.0;
+    }}
+    compute_forces();
+    var float e0 = kinetic() + epot;
+    var int step;
+    for (step = 0; step < nsteps; step = step + 1) {{
+        // velocity Verlet
+        for (i = 0; i < natoms; i = i + 1) {{
+            vel[i] = vel[i] + 0.5 * dt * force[i] / mass;
+            pos[i] = pos[i] + dt * vel[i];
+            if (pos[i] >= boxlen) {{ pos[i] = pos[i] - boxlen; }}
+            if (pos[i] < 0.0) {{ pos[i] = pos[i] + boxlen; }}
+        }}
+        compute_forces();
+        for (i = 0; i < natoms; i = i + 1) {{
+            vel[i] = vel[i] + 0.5 * dt * force[i] / mass;
+        }}
+    }}
+    var float ef = kinetic() + epot;
+    out(nsteps);
+    out(e0);
+    out(ef);
+    for (i = 0; i < natoms; i = i + 1) {{ out(pos[i]); }}
+    for (i = 0; i < natoms; i = i + 1) {{ out(vel[i]); }}
+    return 0;
+}}
+"""
+
+
+class Comd(MiniApp):
+    """CoMD analogue with the energy-conservation acceptance check."""
+
+    name = "comd"
+    domain = "Classical molecular dynamics"
+
+    #: Relative energy-drift tolerance (Verlet at this dt conserves to ~1e-9;
+    #: the threshold is set far above golden drift yet far below corruption).
+    ENERGY_RTOL = 1e-6
+    #: Absolute floor for the relative-drift denominator.
+    ENERGY_SCALE_MIN = 1e-3
+    #: Reference initial total energy of the deterministic setup (the
+    #: CoMD verification spec pins cold-start energies the same way).
+    EXPECTED_E0 = -14.11993417452675
+    E0_RTOL = 1e-9
+
+    @property
+    def source(self) -> str:
+        return _SOURCE
+
+    def acceptance_check(self, output: Output) -> bool:
+        if len(output) != 3 + 2 * N_ATOMS:
+            return False
+        kinds = [k for k, _ in output]
+        if kinds[0] != "i" or any(k != "f" for k in kinds[1:]):
+            return False
+        steps = output[0][1]
+        e0 = output[1][1]
+        ef = output[2][1]
+        atoms = [v for _, v in output[3:]]
+        if steps != N_STEPS:
+            return False
+        if not (isfinite(e0) and isfinite(ef)):
+            return False
+        if abs(e0 - self.EXPECTED_E0) > self.E0_RTOL * abs(self.EXPECTED_E0):
+            return False
+        scale = max(abs(e0), self.ENERGY_SCALE_MIN)
+        if abs(ef - e0) > self.ENERGY_RTOL * scale:
+            return False
+        if not all(isfinite(v) for v in atoms):
+            return False
+        # positions must lie inside the periodic box
+        box = N_ATOMS * 1.122462048309373
+        return all(0.0 <= p < box for p in atoms[:N_ATOMS])
+
+    def sdc_slice(self, output: Output) -> tuple:
+        # Each atom's property: positions and velocities.
+        return tuple(v for _, v in output[3:])
+
+
+__all__ = ["Comd", "N_ATOMS", "N_STEPS"]

@@ -1,0 +1,175 @@
+"""HPL analogue: dense linear solve via LU with partial pivoting.
+
+High Performance Linpack solves ``Ax = b`` by LU decomposition and accepts
+the answer when the norm-wise backward-error residual
+
+    ``||Ax - b||_inf / (eps * (||A||_inf * ||x||_inf + ||b||_inf) * N)``
+
+is below a threshold (16.0, the standard HPL criterion).  This is the one
+*direct* (non-iterative) method in the suite -- the paper discusses it
+separately in Section 8 because crash-elision hurts more and helps less
+without convergence to absorb perturbations.
+
+The matrix is generated in-program by a 64-bit LCG (HPL also generates its
+own pseudo-random matrix), so the program needs no input files.
+"""
+
+from __future__ import annotations
+
+from math import isfinite
+
+from repro.apps.base import MiniApp, Output
+
+#: Matrix dimension.
+N_DIM = 14
+
+_SOURCE = f"""
+// HPL analogue: LU factorisation with partial pivoting + residual check.
+global int n = {N_DIM};
+global float a[{N_DIM * N_DIM}];      // factored in place
+global float aorig[{N_DIM * N_DIM}];  // kept for the residual
+global float b[{N_DIM}];
+global float borig[{N_DIM}];
+global float xs[{N_DIM}];             // solution vector
+global int piv[{N_DIM}];
+global int seed = 42;
+global float eps = 2.220446049250313e-16;
+
+// 64-bit LCG -> float in [-0.5, 0.5)
+func rnd() -> float {{
+    seed = seed * 6364136223846793005 + 1442695040888963407;
+    var int mant = seed % 9007199254740992;    // take 53 bits
+    if (mant < 0) {{ mant = mant + 9007199254740992; }}
+    return float(mant) / 9007199254740992.0 - 0.5;
+}}
+
+func idx(int i, int j) -> int {{
+    return i * n + j;
+}}
+
+func factor() -> int {{
+    var int k;
+    var int i;
+    var int j;
+    for (k = 0; k < n; k = k + 1) {{
+        // partial pivoting: find the largest |a[i][k]|, i >= k
+        var int pivot = k;
+        var float best = fabs(a[idx(k, k)]);
+        for (i = k + 1; i < n; i = i + 1) {{
+            var float cand = fabs(a[idx(i, k)]);
+            if (cand > best) {{ best = cand; pivot = i; }}
+        }}
+        piv[k] = pivot;
+        if (pivot != k) {{
+            for (j = 0; j < n; j = j + 1) {{
+                var float tmp = a[idx(k, j)];
+                a[idx(k, j)] = a[idx(pivot, j)];
+                a[idx(pivot, j)] = tmp;
+            }}
+            var float tb = b[k];
+            b[k] = b[pivot];
+            b[pivot] = tb;
+        }}
+        assert(fabs(a[idx(k, k)]) > 0.0);
+        for (i = k + 1; i < n; i = i + 1) {{
+            var float mult = a[idx(i, k)] / a[idx(k, k)];
+            a[idx(i, k)] = mult;
+            for (j = k + 1; j < n; j = j + 1) {{
+                a[idx(i, j)] = a[idx(i, j)] - mult * a[idx(k, j)];
+            }}
+            b[i] = b[i] - mult * b[k];
+        }}
+    }}
+    return 0;
+}}
+
+func back_substitute() -> int {{
+    var int i;
+    var int j;
+    for (i = n - 1; i >= 0; i = i - 1) {{
+        var float s = b[i];
+        for (j = i + 1; j < n; j = j + 1) {{
+            s = s - a[idx(i, j)] * xs[j];
+        }}
+        xs[i] = s / a[idx(i, i)];
+    }}
+    return 0;
+}}
+
+func residual() -> float {{
+    // ||A x - b||_inf / (eps * (||A||_inf ||x||_inf + ||b||_inf) * n)
+    var int i;
+    var int j;
+    var float rmax = 0.0;
+    var float anorm = 0.0;
+    var float xnorm = 0.0;
+    var float bnorm = 0.0;
+    for (i = 0; i < n; i = i + 1) {{
+        var float ri = 0.0 - borig[i];
+        var float rowsum = 0.0;
+        for (j = 0; j < n; j = j + 1) {{
+            ri = ri + aorig[idx(i, j)] * xs[j];
+            rowsum = rowsum + fabs(aorig[idx(i, j)]);
+        }}
+        rmax = fmax(rmax, fabs(ri));
+        anorm = fmax(anorm, rowsum);
+        xnorm = fmax(xnorm, fabs(xs[i]));
+        bnorm = fmax(bnorm, fabs(borig[i]));
+    }}
+    return rmax / (eps * (anorm * xnorm + bnorm) * float(n));
+}}
+
+func main() -> int {{
+    var int i;
+    var int j;
+    for (i = 0; i < n; i = i + 1) {{
+        for (j = 0; j < n; j = j + 1) {{
+            var float v = rnd();
+            a[idx(i, j)] = v;
+            aorig[idx(i, j)] = v;
+        }}
+        var float bv = rnd();
+        b[i] = bv;
+        borig[i] = bv;
+    }}
+    factor();
+    back_substitute();
+    var float res = residual();
+    out(res);
+    for (i = 0; i < n; i = i + 1) {{ out(xs[i]); }}
+    return 0;
+}}
+"""
+
+
+class Hpl(MiniApp):
+    """HPL analogue; the residual check is the acceptance test."""
+
+    name = "hpl"
+    domain = "Dense linear solver"
+    iterative = False  # direct method; discussed separately (paper sec. 8)
+
+    #: Standard HPL pass threshold for the scaled residual.
+    RESIDUAL_THRESHOLD = 16.0
+
+    @property
+    def source(self) -> str:
+        return _SOURCE
+
+    def acceptance_check(self, output: Output) -> bool:
+        if len(output) != 1 + N_DIM:
+            return False
+        if any(k != "f" for k, _ in output):
+            return False
+        residual = output[0][1]
+        solution = [v for _, v in output[1:]]
+        if not (isfinite(residual) and 0.0 <= residual < self.RESIDUAL_THRESHOLD):
+            return False
+        return all(isfinite(v) for v in solution)
+
+    def sdc_slice(self, output: Output) -> tuple:
+        # The solution vector.
+        return tuple(v for _, v in output[1:])
+
+
+__all__ = ["Hpl", "N_DIM"]

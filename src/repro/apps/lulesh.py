@@ -1,0 +1,187 @@
+"""LULESH analogue: Lagrangian shock hydrodynamics (Sedov-like problem).
+
+A 1-D staggered-mesh Lagrangian hydro code in the spirit of LULESH: zone
+state (mass, internal energy, pressure, artificial viscosity) with nodal
+positions/velocities, an energy deposition at the mesh centre, a CFL
+time-step scan, and reflective boundaries.  The problem is symmetric
+around the centre zone, so the mesh must stay symmetric -- one of the
+three acceptance criteria the LULESH verification spec defines (Table 2):
+
+* number of iterations: exactly the expected count;
+* final origin energy: correct to at least 6 digits;
+* measures of symmetry: smaller than 1e-8.
+
+The SDC-comparison data is the mesh (all zone energies), bitwise.
+"""
+
+from __future__ import annotations
+
+from math import isfinite
+
+from repro.apps.base import MiniApp, Output
+
+#: Zones in the mesh (odd, so a single centre zone exists).
+N_ZONES = 17
+
+_SOURCE = f"""
+// LULESH analogue: 1-D Sedov-like Lagrangian hydrodynamics.
+global int nz = {N_ZONES};          // zones
+global int nn = {N_ZONES + 1};      // nodes
+global float x[{N_ZONES + 1}];      // node positions
+global float xold[{N_ZONES + 1}];
+global float v[{N_ZONES + 1}];      // node velocities
+global float vold[{N_ZONES + 1}];
+global float e[{N_ZONES}];          // zone specific internal energy
+global float m[{N_ZONES}];          // zone mass
+global float p[{N_ZONES}];          // zone pressure
+global float q[{N_ZONES}];          // zone artificial viscosity
+global float gamma = 1.4;
+global float cfl = 0.25;
+global float tend = 0.4;
+global float qcoef = 2.0;
+global int maxiter = 400;
+
+func eos_pressure(float rho, float ei) -> float {{
+    var float pr = (gamma - 1.0) * rho * ei;
+    if (pr < 0.0) {{ pr = 0.0; }}
+    return pr;
+}}
+
+func zone_rho(int z) -> float {{
+    return m[z] / (x[z + 1] - x[z]);
+}}
+
+func compute_dt() -> float {{
+    var int z;
+    var float best = 1.0;
+    for (z = 0; z < nz; z = z + 1) {{
+        var float dx = x[z + 1] - x[z];
+        var float rho = zone_rho(z);
+        var float c = sqrt(gamma * (p[z] + 1.0e-12) / rho);
+        var float dtz = dx / (c + 1.0e-9);
+        if (dtz < best) {{ best = dtz; }}
+    }}
+    return cfl * best;
+}}
+
+func main() -> int {{
+    var int z;
+    var int n;
+    var float dx0 = 1.0 / float(nz);
+    // mesh + Sedov-style central energy deposition
+    for (n = 0; n < nn; n = n + 1) {{
+        x[n] = float(n) * dx0;
+        v[n] = 0.0;
+    }}
+    for (z = 0; z < nz; z = z + 1) {{
+        m[z] = 1.0 * dx0;
+        e[z] = 1.0e-6;
+        q[z] = 0.0;
+    }}
+    var int mid = (nz - 1) / 2;
+    e[mid] = 0.5 / m[mid];
+
+    var float t = 0.0;
+    var int iter = 0;
+    while (t < tend && iter < maxiter) {{
+        // EOS + artificial viscosity
+        for (z = 0; z < nz; z = z + 1) {{
+            var float rho = zone_rho(z);
+            p[z] = eos_pressure(rho, e[z]);
+            var float dv = v[z + 1] - v[z];
+            if (dv < 0.0) {{
+                q[z] = qcoef * rho * dv * dv;
+            }} else {{
+                q[z] = 0.0;
+            }}
+        }}
+        var float dt = compute_dt();
+        if (t + dt > tend) {{ dt = tend - t; }}
+        // nodal accelerations from pressure gradients; move nodes
+        for (n = 0; n < nn; n = n + 1) {{
+            vold[n] = v[n];
+            xold[n] = x[n];
+        }}
+        for (n = 1; n < nn - 1; n = n + 1) {{
+            var float mnode = 0.5 * (m[n - 1] + m[n]);
+            var float f = (p[n - 1] + q[n - 1]) - (p[n] + q[n]);
+            v[n] = v[n] + dt * f / mnode;
+        }}
+        v[0] = 0.0;
+        v[nn - 1] = 0.0;
+        for (n = 0; n < nn; n = n + 1) {{
+            x[n] = x[n] + 0.5 * (v[n] + vold[n]) * dt;
+        }}
+        // compatible internal-energy update (work = P dV via mean velocity)
+        for (z = 0; z < nz; z = z + 1) {{
+            var float vbr = 0.5 * (v[z + 1] + vold[z + 1]);
+            var float vbl = 0.5 * (v[z] + vold[z]);
+            e[z] = e[z] - (p[z] + q[z]) * (vbr - vbl) * dt / m[z];
+            if (e[z] < 0.0) {{ e[z] = 0.0; }}
+        }}
+        assert(x[nn - 1] > x[0]);    // mesh must not invert end-to-end
+        t = t + dt;
+        iter = iter + 1;
+    }}
+
+    // symmetry measure: energy field mirrored around the centre zone
+    var float sym = 0.0;
+    for (z = 0; z < nz; z = z + 1) {{
+        var float d = fabs(e[z] - e[nz - 1 - z]);
+        if (d > sym) {{ sym = d; }}
+    }}
+    out(iter);
+    out(e[mid]);        // "final origin energy"
+    out(sym);
+    for (z = 0; z < nz; z = z + 1) {{ out(e[z]); }}
+    return 0;
+}}
+"""
+
+
+class Lulesh(MiniApp):
+    """LULESH analogue with the Table-2 acceptance criteria."""
+
+    name = "lulesh"
+    domain = "Hydrodynamics"
+
+    #: Reference values baked in from the verified golden run, playing the
+    #: role of the analytic answers in LULESH's verification spec.
+    EXPECTED_ITERATIONS = 46
+    EXPECTED_ORIGIN_ENERGY = 3.2708679388477373
+    SYMMETRY_TOL = 1e-8
+    #: 6-significant-digit agreement, per the spec.
+    ORIGIN_RTOL = 1e-6
+
+    @property
+    def source(self) -> str:
+        return _SOURCE
+
+    def acceptance_check(self, output: Output) -> bool:
+        if len(output) != 3 + N_ZONES:
+            return False
+        kinds = [k for k, _ in output]
+        if kinds[0] != "i" or any(k != "f" for k in kinds[1:]):
+            return False
+        iterations = output[0][1]
+        origin = output[1][1]
+        symmetry = output[2][1]
+        energies = [v for _, v in output[3:]]
+        if iterations != self.EXPECTED_ITERATIONS:
+            return False
+        if not (
+            isfinite(origin)
+            and abs(origin - self.EXPECTED_ORIGIN_ENERGY)
+            <= self.ORIGIN_RTOL * abs(self.EXPECTED_ORIGIN_ENERGY)
+        ):
+            return False
+        if not (isfinite(symmetry) and symmetry < self.SYMMETRY_TOL):
+            return False
+        return all(isfinite(v) and v >= 0.0 for v in energies)
+
+    def sdc_slice(self, output: Output) -> tuple:
+        # The mesh: all zone energies.
+        return tuple(v for _, v in output[3:])
+
+
+__all__ = ["Lulesh", "N_ZONES"]

@@ -1,0 +1,219 @@
+"""PENNANT analogue: unstructured-mesh Lagrangian staggered-grid hydro.
+
+PENNANT's defining trait (vs. LULESH) is the *unstructured* mesh: all
+connectivity goes through explicit index arrays.  Here the node storage
+order is a pseudo-random permutation of the logical order, and every
+gather/scatter (zone -> its two nodes) is a double indirection through the
+connectivity arrays -- generating exactly the indexed load/store patterns
+whose corruption LetGo has to survive.
+
+Physics: a 1-D pressure-discontinuity (Riemann-like) problem with a
+*compatible* energy update (work computed with mid-step velocities), which
+conserves total energy to roundoff; per Table 2 the acceptance criterion
+is **energy conservation**.  SDC data: the mesh (zone energies + node
+positions in logical order).
+"""
+
+from __future__ import annotations
+
+from math import isfinite
+
+from repro.apps.base import MiniApp, Output
+
+#: Zones (nodes = zones + 1).
+N_ZONES = 20
+N_NODES = N_ZONES + 1
+
+_SOURCE = f"""
+// PENNANT analogue: permuted-storage unstructured 1-D Lagrangian hydro.
+global int nz = {N_ZONES};
+global int nn = {N_NODES};
+global int perm[{N_NODES}];     // logical node -> storage slot
+global int zl[{N_ZONES}];       // zone -> storage slot of its left node
+global int zr[{N_ZONES}];       // zone -> storage slot of its right node
+global float px[{N_NODES}];     // node positions   (storage order)
+global float pv[{N_NODES}];     // node velocities  (storage order)
+global float pvold[{N_NODES}];
+global float fx[{N_NODES}];     // nodal forces     (storage order)
+global float mn[{N_NODES}];     // nodal masses     (storage order)
+global float e[{N_ZONES}];      // zone specific internal energy
+global float m[{N_ZONES}];      // zone mass
+global float p[{N_ZONES}];      // zone pressure
+global float q[{N_ZONES}];      // zone artificial viscosity
+global float gamma = 1.4;
+global float cfl = 0.3;
+global float tend = 0.25;
+global float qcoef = 1.5;
+global int maxiter = 300;
+global int seed = 12345;
+
+func rndint(int bound) -> int {{
+    seed = seed * 6364136223846793005 + 1442695040888963407;
+    var int r = seed % bound;
+    if (r < 0) {{ r = r + bound; }}
+    return r;
+}}
+
+func total_energy() -> float {{
+    var int z;
+    var int n;
+    var float tot = 0.0;
+    for (z = 0; z < nz; z = z + 1) {{ tot = tot + m[z] * e[z]; }}
+    for (n = 0; n < nn; n = n + 1) {{
+        tot = tot + 0.5 * mn[n] * pv[n] * pv[n];
+    }}
+    return tot;
+}}
+
+func main() -> int {{
+    var int z;
+    var int n;
+    var int i;
+    // pseudo-random node storage permutation (Fisher-Yates)
+    for (i = 0; i < nn; i = i + 1) {{ perm[i] = i; }}
+    for (i = nn - 1; i > 0; i = i - 1) {{
+        var int j = rndint(i + 1);
+        var int tswap = perm[i];
+        perm[i] = perm[j];
+        perm[j] = tswap;
+    }}
+    for (z = 0; z < nz; z = z + 1) {{
+        zl[z] = perm[z];
+        zr[z] = perm[z + 1];
+    }}
+    // geometry + pressure-jump initial condition
+    var float dx0 = 1.0 / float(nz);
+    for (i = 0; i < nn; i = i + 1) {{
+        px[perm[i]] = float(i) * dx0;
+        pv[perm[i]] = 0.0;
+    }}
+    for (z = 0; z < nz; z = z + 1) {{
+        m[z] = 1.0 * dx0;
+        if (z < nz / 2) {{ e[z] = 2.0; }} else {{ e[z] = 1.0; }}
+        q[z] = 0.0;
+    }}
+    // nodal masses by scatter from zones
+    for (n = 0; n < nn; n = n + 1) {{ mn[n] = 0.0; }}
+    for (z = 0; z < nz; z = z + 1) {{
+        mn[zl[z]] = mn[zl[z]] + 0.5 * m[z];
+        mn[zr[z]] = mn[zr[z]] + 0.5 * m[z];
+    }}
+    var float e0 = total_energy();
+
+    var float t = 0.0;
+    var int iter = 0;
+    while (t < tend && iter < maxiter) {{
+        // EOS + viscosity (all through connectivity gathers)
+        for (z = 0; z < nz; z = z + 1) {{
+            var float dxz = px[zr[z]] - px[zl[z]];
+            assert(dxz > 0.0);                 // tangled mesh check
+            var float rho = m[z] / dxz;
+            p[z] = (gamma - 1.0) * rho * e[z];
+            if (p[z] < 0.0) {{ p[z] = 0.0; }}
+            var float dv = pv[zr[z]] - pv[zl[z]];
+            if (dv < 0.0) {{
+                q[z] = qcoef * rho * dv * dv;
+            }} else {{
+                q[z] = 0.0;
+            }}
+        }}
+        // CFL scan
+        var float best = 1.0;
+        for (z = 0; z < nz; z = z + 1) {{
+            var float dxc = px[zr[z]] - px[zl[z]];
+            var float rhoc = m[z] / dxc;
+            var float c = sqrt(gamma * (p[z] + 1.0e-12) / rhoc);
+            var float dtz = dxc / (c + 1.0e-9);
+            if (dtz < best) {{ best = dtz; }}
+        }}
+        var float dt = cfl * best;
+        if (t + dt > tend) {{ dt = tend - t; }}
+        // force scatter
+        for (n = 0; n < nn; n = n + 1) {{ fx[n] = 0.0; }}
+        for (z = 0; z < nz; z = z + 1) {{
+            var float ptot = p[z] + q[z];
+            fx[zr[z]] = fx[zr[z]] + ptot;
+            fx[zl[z]] = fx[zl[z]] - ptot;
+        }}
+        // node kinematics (walls pinned)
+        for (n = 0; n < nn; n = n + 1) {{
+            pvold[n] = pv[n];
+            pv[n] = pv[n] + dt * fx[n] / mn[n];
+        }}
+        pv[perm[0]] = 0.0;
+        pvold[perm[0]] = 0.0;
+        pv[perm[nn - 1]] = 0.0;
+        pvold[perm[nn - 1]] = 0.0;
+        for (n = 0; n < nn; n = n + 1) {{
+            px[n] = px[n] + 0.5 * (pv[n] + pvold[n]) * dt;
+        }}
+        // compatible energy update: exact discrete conservation
+        for (z = 0; z < nz; z = z + 1) {{
+            var float vbr = 0.5 * (pv[zr[z]] + pvold[zr[z]]);
+            var float vbl = 0.5 * (pv[zl[z]] + pvold[zl[z]]);
+            e[z] = e[z] - (p[z] + q[z]) * (vbr - vbl) * dt / m[z];
+        }}
+        t = t + dt;
+        iter = iter + 1;
+    }}
+
+    var float ef = total_energy();
+    out(iter);
+    out(e0);
+    out(ef);
+    for (z = 0; z < nz; z = z + 1) {{ out(e[z]); }}
+    for (i = 0; i < nn; i = i + 1) {{ out(px[perm[i]]); }}   // logical order
+    return 0;
+}}
+"""
+
+
+class Pennant(MiniApp):
+    """PENNANT analogue with the energy-conservation acceptance check."""
+
+    name = "pennant"
+    domain = "Unstructured mesh physics"
+
+    #: Relative total-energy drift tolerance (scheme conserves to roundoff).
+    ENERGY_RTOL = 1e-9
+    #: Reference initial energy of the deterministic setup: 10 zones at
+    #: e=2 + 10 at e=1, each of mass 0.05 (zero initial kinetic energy).
+    EXPECTED_E0 = 1.5
+    #: Expected iteration count of the fixed problem (golden run).
+    EXPECTED_ITERATIONS = 19
+
+    @property
+    def source(self) -> str:
+        return _SOURCE
+
+    def acceptance_check(self, output: Output) -> bool:
+        if len(output) != 3 + N_ZONES + N_NODES:
+            return False
+        kinds = [k for k, _ in output]
+        if kinds[0] != "i" or any(k != "f" for k in kinds[1:]):
+            return False
+        if output[0][1] != self.EXPECTED_ITERATIONS:
+            return False
+        e0 = output[1][1]
+        ef = output[2][1]
+        if not (isfinite(e0) and isfinite(ef) and e0 > 0.0):
+            return False
+        if abs(e0 - self.EXPECTED_E0) > 1e-12:
+            return False
+        if abs(ef - e0) > self.ENERGY_RTOL * e0:
+            return False
+        energies = [v for _, v in output[3 : 3 + N_ZONES]]
+        positions = [v for _, v in output[3 + N_ZONES :]]
+        if not all(isfinite(v) for v in energies):
+            return False
+        if not all(isfinite(v) for v in positions):
+            return False
+        # mesh validity: node positions strictly increasing in logical order
+        return all(b > a for a, b in zip(positions, positions[1:]))
+
+    def sdc_slice(self, output: Output) -> tuple:
+        # The mesh: zone energies + node positions.
+        return tuple(v for _, v in output[3:])
+
+
+__all__ = ["Pennant", "N_ZONES", "N_NODES"]

@@ -1,0 +1,50 @@
+"""Registry of the benchmark suite (paper Table 2)."""
+
+from __future__ import annotations
+
+from repro.apps.base import MiniApp
+from repro.apps.clamr import Clamr
+from repro.apps.comd import Comd
+from repro.apps.hpl import Hpl
+from repro.apps.lulesh import Lulesh
+from repro.apps.pennant import Pennant
+from repro.apps.snap import Snap
+
+#: All six benchmarks, in Table-2 order.
+APP_CLASSES: tuple[type[MiniApp], ...] = (
+    Lulesh,
+    Clamr,
+    Hpl,
+    Comd,
+    Snap,
+    Pennant,
+)
+
+_BY_NAME = {cls.name: cls for cls in APP_CLASSES}
+
+
+def app_names(iterative_only: bool = False) -> list[str]:
+    """Names of all apps (optionally only the iterative/convergent five)."""
+    return [
+        cls.name
+        for cls in APP_CLASSES
+        if not iterative_only or cls.iterative
+    ]
+
+
+def make_app(name: str) -> MiniApp:
+    """Instantiate a benchmark by name."""
+    try:
+        return _BY_NAME[name]()
+    except KeyError:
+        raise KeyError(
+            f"unknown app {name!r}; choose from {sorted(_BY_NAME)}"
+        ) from None
+
+
+def all_apps(iterative_only: bool = False) -> list[MiniApp]:
+    """Fresh instances of the whole suite."""
+    return [make_app(name) for name in app_names(iterative_only)]
+
+
+__all__ = ["APP_CLASSES", "app_names", "make_app", "all_apps"]

@@ -1,0 +1,172 @@
+"""SNAP analogue: discrete-ordinates (Sn) neutral-particle transport.
+
+A 1-D fixed-source transport problem solved by source iteration with
+diamond-difference sweeps: for each discrete angle, sweep across the slab
+in the flow direction (left-to-right for mu>0, right-to-left for mu<0),
+accumulate the scalar flux with the quadrature weights, and iterate until
+the scattering source converges.  The iteration runs to its *bitwise* fixed
+point (tol = 0): source iteration is a contraction, so any in-flight
+perturbation that does not crash the sweep is annihilated entirely --
+the paper's observation that SNAP masks all non-crashing errors.
+
+The problem (uniform medium + uniform source + vacuum boundaries on both
+sides) is mirror-symmetric, so per SNAP's "verification of results"
+section and Table 2 the acceptance criterion is **the flux solution output
+should be symmetric**.  SDC data: the scalar-flux solution.
+"""
+
+from __future__ import annotations
+
+from math import isfinite
+
+from repro.apps.base import MiniApp, Output
+
+#: Spatial cells, angles per half-space, and the iteration cap.
+N_CELLS = 16
+N_ANG = 4
+MAX_ITERS = 80
+
+_SOURCE = f"""
+// SNAP analogue: 1-D Sn transport, diamond difference + source iteration.
+global int nc = {N_CELLS};
+global int na = {N_ANG};            // angles per half-space
+global int maxit = {MAX_ITERS};
+global float mu[{N_ANG}];           // Gauss-Legendre nodes on (0,1)
+global float wt[{N_ANG}];           // matching weights (sum to 1 per half)
+global float phi[{N_CELLS}];        // scalar flux
+global float phiold[{N_CELLS}];
+global float src[{N_CELLS}];        // per-angle emission density
+global float sigt = 1.0;            // total cross-section
+global float sigs = 0.3;            // scattering cross-section
+global float q0 = 1.0;              // uniform external source
+global float dx = 0.25;
+global float tol = 0.0;        // iterate to the bitwise fixed point
+
+func sweep_right(float m) -> int {{
+    // mu > 0: boundary flux 0 at the left face (vacuum)
+    var int i;
+    var float psin = 0.0;
+    for (i = 0; i < nc; i = i + 1) {{
+        var float psic = (src[i] * dx + 2.0 * m * psin)
+                       / (2.0 * m + sigt * dx);
+        phi[i] = phi[i] + 0.5 * wt_at(m) * psic;
+        psin = 2.0 * psic - psin;
+        if (psin < 0.0) {{ psin = 0.0; }}   // negative-flux fixup
+    }}
+    return 0;
+}}
+
+func sweep_left(float m) -> int {{
+    // mu < 0 (m holds |mu|): vacuum at the right face
+    var int i;
+    var float psin = 0.0;
+    for (i = nc - 1; i >= 0; i = i - 1) {{
+        var float psic = (src[i] * dx + 2.0 * m * psin)
+                       / (2.0 * m + sigt * dx);
+        phi[i] = phi[i] + 0.5 * wt_at(m) * psic;
+        psin = 2.0 * psic - psin;
+        if (psin < 0.0) {{ psin = 0.0; }}
+    }}
+    return 0;
+}}
+
+// weight lookup by node value (nodes are distinct)
+func wt_at(float m) -> float {{
+    var int k;
+    for (k = 0; k < na; k = k + 1) {{
+        if (mu[k] == m) {{ return wt[k]; }}
+    }}
+    abort();        // unknown angle: quadrature table corrupted
+    return 0.0;
+}}
+
+func main() -> int {{
+    var int i;
+    var int k;
+    // 4-point Gauss-Legendre on (0, 1)
+    mu[0] = 0.0694318442029737;
+    mu[1] = 0.3300094782075719;
+    mu[2] = 0.6699905217924281;
+    mu[3] = 0.9305681557970263;
+    wt[0] = 0.1739274225687269;
+    wt[1] = 0.3260725774312731;
+    wt[2] = 0.3260725774312731;
+    wt[3] = 0.1739274225687269;
+    for (i = 0; i < nc; i = i + 1) {{ phi[i] = 0.0; }}
+    var int iter = 0;
+    var float err = 1.0;
+    while (err > tol && iter < maxit) {{
+        for (i = 0; i < nc; i = i + 1) {{
+            phiold[i] = phi[i];
+            src[i] = 0.5 * (sigs * phi[i] + q0);
+            phi[i] = 0.0;
+        }}
+        for (k = 0; k < na; k = k + 1) {{
+            sweep_right(mu[k]);
+            sweep_left(mu[k]);
+        }}
+        err = 0.0;
+        for (i = 0; i < nc; i = i + 1) {{
+            var float d = fabs(phi[i] - phiold[i]);
+            if (d > err) {{ err = d; }}
+        }}
+        iter = iter + 1;
+    }}
+    // symmetry of the flux solution
+    var float asym = 0.0;
+    for (i = 0; i < nc; i = i + 1) {{
+        var float dd = fabs(phi[i] - phi[nc - 1 - i]);
+        if (dd > asym) {{ asym = dd; }}
+    }}
+    out(iter);
+    out(err);
+    out(asym);
+    for (i = 0; i < nc; i = i + 1) {{ out(phi[i]); }}
+    return 0;
+}}
+"""
+
+
+class Snap(MiniApp):
+    """SNAP analogue with the flux-symmetry acceptance check."""
+
+    name = "snap"
+    domain = "Discrete ordinates transport"
+
+    SYMMETRY_TOL = 1e-8
+    #: Convergence criterion used by the in-program loop.
+    CONVERGENCE_TOL = 0.0
+    #: Physical upper bound on the scalar flux (infinite-medium limit
+    #: q0/(sigt - sigs) ~ 1.43, with margin).
+    FLUX_BOUND = 2.0
+
+    @property
+    def source(self) -> str:
+        return _SOURCE
+
+    def acceptance_check(self, output: Output) -> bool:
+        if len(output) != 3 + N_CELLS:
+            return False
+        kinds = [k for k, _ in output]
+        if kinds[0] != "i" or any(k != "f" for k in kinds[1:]):
+            return False
+        iterations = output[0][1]
+        err = output[1][1]
+        asym = output[2][1]
+        flux = [v for _, v in output[3:]]
+        if not (0 < iterations < MAX_ITERS):
+            return False  # must have converged before the cap
+        if not (isfinite(err) and err <= self.CONVERGENCE_TOL):
+            return False
+        if not (isfinite(asym) and asym < self.SYMMETRY_TOL):
+            return False
+        # physical bound: the flux cannot exceed the infinite-medium value
+        # q0 / (sigt - sigs) = 1 / 0.7; allow generous margin
+        return all(isfinite(v) and 0.0 < v < self.FLUX_BOUND for v in flux)
+
+    def sdc_slice(self, output: Output) -> tuple:
+        # The flux solution.
+        return tuple(v for _, v in output[3:])
+
+
+__all__ = ["Snap", "N_CELLS", "N_ANG", "MAX_ITERS"]

@@ -1,0 +1,74 @@
+"""Process snapshots: the checkpoint/restore primitive.
+
+A snapshot captures the complete architectural state of a process --
+registers, PC, memory contents, output stream, retirement counter -- and
+can be restored onto a fresh process of the same program image.  This is
+the in-vivo equivalent of writing a checkpoint to stable storage; the
+*cost* of doing so is accounted separately by the driver (a platform
+parameter), because on this substrate the copy itself is nearly free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SimulationError
+from repro.isa.program import Program
+from repro.machine.process import Process, ProcessStatus
+
+
+@dataclass(frozen=True)
+class Snapshot:
+    """Immutable architectural state of one process at one instant."""
+
+    checksum: str                   # program identity guard
+    iregs: tuple[int, ...]
+    fregs: tuple[float, ...]
+    pc: int
+    instret: int
+    cells: dict[int, int] = field(hash=False)
+    output: tuple[tuple[str, int | float], ...] = ()
+
+    @property
+    def size_cells(self) -> int:
+        """Number of written memory cells captured (checkpoint 'size')."""
+        return len(self.cells)
+
+
+def snapshot(process: Process) -> Snapshot:
+    """Capture *process* (must be running)."""
+    if process.status is not ProcessStatus.RUNNING or process.cpu.halted:
+        raise SimulationError("cannot checkpoint a finished or dead process")
+    cpu = process.cpu
+    return Snapshot(
+        checksum=process.program.checksum(),
+        iregs=tuple(cpu.iregs),
+        fregs=tuple(cpu.fregs),
+        pc=cpu.pc,
+        instret=cpu.instret,
+        cells=process.memory.written_cells(),
+        output=tuple(cpu.output),
+    )
+
+
+def restore(program: Program, snap: Snapshot) -> Process:
+    """Materialise a fresh process at the snapshot's state.
+
+    The program image must be the one the snapshot was taken from.
+    """
+    if program.checksum() != snap.checksum:
+        raise SimulationError("snapshot belongs to a different program image")
+    process = Process.load(program)
+    cpu = process.cpu
+    cpu.iregs[:] = list(snap.iregs)
+    cpu.fregs[:] = list(snap.fregs)
+    cpu.pc = snap.pc
+    cpu.instret = snap.instret
+    cpu.output[:] = list(snap.output)
+    process.memory.clear()
+    for addr, pattern in snap.cells.items():
+        process.memory.write_pattern(addr, pattern)
+    return process
+
+
+__all__ = ["Snapshot", "snapshot", "restore"]

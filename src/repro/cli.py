@@ -1,0 +1,287 @@
+"""Command-line interface: ``python -m repro.cli <command>``.
+
+Commands
+--------
+``apps``
+    List the benchmark suite with golden-run facts.
+``objdump --app NAME``
+    Disassemble an app image with the function/frame table.
+``golden --app NAME``
+    Run an app to completion and print its output + acceptance verdict.
+``inject --app NAME --dyn-index K --bit B [--letgo VARIANT]``
+    One fault-injection run, with or without LetGo.
+``campaign --app NAME -n N [--seed S] [--letgo VARIANT]``
+    An injection campaign with the Table-3 breakdown and Eq. 1-4 metrics.
+``simulate --app NAME --t-chk SECONDS [--mtbfaults S] [--years Y]``
+    The Figure-6 C/R simulation with and without LetGo.
+``sites --app NAME -n N``
+    Fault-site characterisation: which functions / instruction classes /
+    bit positions crash, from a fresh LetGo-E campaign.
+``parallel [--ranks R] [--mtbf I]``
+    The SPMD heat proxy under coordinated C/R, with and without LetGo.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.apps import app_names, make_app
+from repro.core import VARIANTS
+from repro.crsim import PAPER_APP_PARAMS, SystemParams, YEAR, compare_efficiency
+from repro.crsim.params import AppParams
+from repro.faultinject import InjectionPlan, run_campaign, run_injection
+from repro.reporting import ascii_table, pct, pct_ci
+
+
+def _cmd_apps(_args: argparse.Namespace) -> int:
+    rows = []
+    for name in app_names():
+        app = make_app(name)
+        rows.append(
+            [
+                app.name,
+                app.domain,
+                "iterative" if app.iterative else "direct",
+                f"{app.golden.instret:,}",
+                len(app.program.instrs),
+            ]
+        )
+    print(
+        ascii_table(
+            ["name", "domain", "method", "dyn instrs", "static instrs"], rows
+        )
+    )
+    return 0
+
+
+def _cmd_objdump(args: argparse.Namespace) -> int:
+    from repro.analysis import objdump
+
+    app = make_app(args.app)
+    print(objdump(app.program))
+    return 0
+
+
+def _cmd_golden(args: argparse.Namespace) -> int:
+    app = make_app(args.app)
+    golden = app.golden
+    print(f"{app.name}: exited {golden.exit_code} after {golden.instret:,} instructions")
+    for kind, value in golden.output[:20]:
+        print(f"  {kind} {value!r}")
+    if len(golden.output) > 20:
+        print(f"  ... {len(golden.output) - 20} more values")
+    verdict = app.acceptance_check(list(golden.output))
+    print(f"acceptance check: {'PASS' if verdict else 'FAIL'}")
+    return 0 if verdict else 1
+
+
+def _variant(name: str | None):
+    if name is None:
+        return None
+    try:
+        return VARIANTS[name]
+    except KeyError:
+        raise SystemExit(
+            f"unknown LetGo variant {name!r}; choose from {sorted(VARIANTS)}"
+        ) from None
+
+
+def _cmd_inject(args: argparse.Namespace) -> int:
+    app = make_app(args.app)
+    plan = InjectionPlan(
+        dyn_index=args.dyn_index, bit=args.bit, reg_choice=args.reg_choice
+    )
+    result = run_injection(app, plan, config=_variant(args.letgo))
+    print(f"outcome: {result.outcome.value}")
+    print(f"target: pc={result.target_pc} reg={result.target_reg}")
+    if result.first_signal is not None:
+        print(f"first signal: {result.first_signal.name}")
+    print(f"interventions: {result.interventions}")
+    print(f"instructions retired: {result.steps:,}")
+    return 0
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    app = make_app(args.app)
+    config = _variant(args.letgo)
+    campaign = run_campaign(
+        app, args.n, seed=args.seed, config=config, keep_results=False
+    )
+    rows = [
+        [outcome.value, count, pct(count / args.n)]
+        for outcome, count in sorted(campaign.counts.items(), key=lambda kv: -kv[1])
+    ]
+    title = f"{app.name} under {campaign.config_name} (n={args.n}, seed={args.seed})"
+    print(ascii_table(["outcome", "runs", "fraction"], rows, title=title))
+    if config is not None:
+        m = campaign.metrics()
+        print(f"\ncontinuability    : {pct_ci(m.continuability.value, m.continuability.half_width)}")
+        print(f"continued_correct : {pct_ci(m.continued_correct.value, m.continued_correct.half_width)}")
+        print(f"continued_detected: {pct_ci(m.continued_detected.value, m.continued_detected.half_width)}")
+        print(f"continued_sdc     : {pct_ci(m.continued_sdc.value, m.continued_sdc.half_width)}")
+    print(f"crash rate        : {pct_ci(campaign.crash_rate().value, campaign.crash_rate().half_width)}")
+    print(f"overall SDC rate  : {pct_ci(campaign.sdc_rate().value, campaign.sdc_rate().half_width)}")
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    if args.app in PAPER_APP_PARAMS and not args.estimate:
+        params = PAPER_APP_PARAMS[args.app]
+        source = "paper Table 3"
+    else:
+        app = make_app(args.app)
+        campaign = run_campaign(
+            app, args.n, seed=args.seed, config=VARIANTS["LetGo-E"], keep_results=False
+        )
+        params = AppParams(
+            name=app.name,
+            p_crash=campaign.estimate_p_crash(),
+            p_v=campaign.estimate_p_v(),
+            p_v_prime=campaign.estimate_p_v_prime(),
+            p_letgo=campaign.estimate_p_letgo(),
+        )
+        source = f"fresh campaign (n={args.n})"
+    system = SystemParams(t_chk=args.t_chk, mtbfaults=args.mtbfaults)
+    comparison = compare_efficiency(
+        system, params, needed=args.years * YEAR, seeds=[1, 2, 3]
+    )
+    print(f"parameters from {source}: P_crash={params.p_crash:.3f} "
+          f"P_v={params.p_v:.3f} P_v'={params.p_v_prime:.3f} "
+          f"P_letgo={params.p_letgo:.3f}")
+    print(f"standard C/R efficiency: {comparison.standard:.4f}")
+    print(f"with LetGo             : {comparison.letgo:.4f}")
+    print(f"gain                   : {comparison.gain_absolute:+.4f} "
+          f"({comparison.gain_relative:.3f}x)")
+    return 0
+
+
+def _cmd_sites(args: argparse.Namespace) -> int:
+    from repro.faultinject import analyze_sites
+
+    app = make_app(args.app)
+    campaign = run_campaign(
+        app, args.n, seed=args.seed, config=VARIANTS["LetGo-E"], keep_results=True
+    )
+    print(analyze_sites(app, campaign).render())
+    return 0
+
+
+def _cmd_parallel(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from repro.core import LETGO_E
+    from repro.parallel import (
+        ClusterCRParams,
+        ClusterPolicy,
+        HeatApp,
+        drive_cluster,
+    )
+
+    app = HeatApp(size=args.ranks)
+    params = ClusterCRParams(
+        interval=20_000,
+        t_chk=3_000,
+        t_sync=300 * args.ranks,
+        t_letgo=100,
+        mtbf_faults=args.mtbf,
+    )
+    rows = []
+    for label, policy, kwargs in (
+        ("none", ClusterPolicy.NONE, {}),
+        ("cr", ClusterPolicy.CR, {}),
+        ("cr+letgo", ClusterPolicy.CR_LETGO, {"letgo": LETGO_E}),
+    ):
+        runs = [
+            drive_cluster(app, params, policy, seed=s, **kwargs)
+            for s in range(args.seeds)
+        ]
+        rows.append(
+            [
+                label,
+                f"{sum(r.completed for r in runs)}/{args.seeds}",
+                f"{np.mean([r.efficiency for r in runs]):.3f}",
+                sum(r.rollbacks for r in runs),
+                sum(r.letgo_repairs for r in runs),
+            ]
+        )
+    print(
+        ascii_table(
+            ["policy", "completed", "mean efficiency", "rollbacks", "repairs"],
+            rows,
+            title=f"{args.ranks}-rank heat proxy, MTBFaults={args.mtbf:.0f} instrs",
+        )
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="LetGo (HPDC'17) reproduction toolkit"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("apps", help="list the benchmark suite")
+
+    p = sub.add_parser("objdump", help="disassemble an app image")
+    p.add_argument("--app", required=True, choices=app_names())
+
+    p = sub.add_parser("golden", help="run an app and check its output")
+    p.add_argument("--app", required=True, choices=app_names())
+
+    p = sub.add_parser("inject", help="run one fault injection")
+    p.add_argument("--app", required=True, choices=app_names())
+    p.add_argument("--dyn-index", type=int, required=True)
+    p.add_argument("--bit", type=int, default=45)
+    p.add_argument("--reg-choice", type=float, default=0.5)
+    p.add_argument("--letgo", choices=sorted(VARIANTS), default=None)
+
+    p = sub.add_parser("campaign", help="run an injection campaign")
+    p.add_argument("--app", required=True, choices=app_names())
+    p.add_argument("-n", type=int, default=100)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--letgo", choices=sorted(VARIANTS), default="LetGo-E")
+
+    p = sub.add_parser("simulate", help="C/R efficiency with vs without LetGo")
+    p.add_argument("--app", required=True, choices=list(PAPER_APP_PARAMS))
+    p.add_argument("--t-chk", type=float, default=120.0)
+    p.add_argument("--mtbfaults", type=float, default=21600.0)
+    p.add_argument("--years", type=float, default=2.0)
+    p.add_argument("--estimate", action="store_true",
+                   help="estimate parameters from a fresh campaign instead "
+                        "of the paper's Table 3")
+    p.add_argument("-n", type=int, default=100)
+    p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser("sites", help="fault-site characterisation")
+    p.add_argument("--app", required=True, choices=app_names())
+    p.add_argument("-n", type=int, default=100)
+    p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser("parallel", help="SPMD coordinated-C/R study")
+    p.add_argument("--ranks", type=int, default=4)
+    p.add_argument("--mtbf", type=float, default=5_000.0)
+    p.add_argument("--seeds", type=int, default=6)
+    return parser
+
+
+_DISPATCH = {
+    "apps": _cmd_apps,
+    "objdump": _cmd_objdump,
+    "golden": _cmd_golden,
+    "inject": _cmd_inject,
+    "campaign": _cmd_campaign,
+    "simulate": _cmd_simulate,
+    "sites": _cmd_sites,
+    "parallel": _cmd_parallel,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _DISPATCH[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

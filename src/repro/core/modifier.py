@@ -1,0 +1,87 @@
+"""The LetGo modifier: repairs application state after an intercepted crash.
+
+Step 4 of the paper's sequence diagram (Figure 3): move the program counter
+past the crash-causing instruction and apply the heuristics that raise the
+odds of a successful continuation.  Heuristic II runs first (a corrupted
+``sp``/``bp`` would invalidate everything else), then Heuristic I, then the
+PC advance.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.analysis.functions import FunctionTable
+from repro.core.config import LetGoConfig
+from repro.core.heuristics import (
+    HeuristicReport,
+    RepairAction,
+    apply_heuristic1,
+    apply_heuristic2,
+)
+from repro.machine.debugger import DebugSession
+from repro.machine.signals import Signal, Trap
+
+
+@dataclass
+class InterventionRecord:
+    """One crash elision: what was trapped and what was repaired."""
+
+    signal: Signal
+    pc: int
+    instr_text: str
+    actions: list[RepairAction] = field(default_factory=list)
+    h1_fired: bool = False
+    h2_fired: bool = False
+    repair_seconds: float = 0.0
+
+    def summary(self) -> str:
+        fired = "+".join(
+            name for name, on in (("H1", self.h1_fired), ("H2", self.h2_fired)) if on
+        )
+        return (
+            f"{self.signal.name}@pc={self.pc} [{self.instr_text}] "
+            f"{fired or 'pc-advance only'}"
+        )
+
+
+class Modifier:
+    """Applies the configured repair to a stopped, trapped process."""
+
+    def __init__(self, config: LetGoConfig, functions: FunctionTable):
+        self.config = config
+        self.functions = functions
+
+    def repair(self, session: DebugSession, trap: Trap) -> InterventionRecord:
+        """Repair state and advance the PC; the process is ready to resume.
+
+        Works for fetch faults too (``trap.instr is None``): the only
+        possible action is the PC advance, which -- as in the original --
+        usually leads to a second crash and a give-up.
+        """
+        start = time.perf_counter()
+        process = session.process
+        report = HeuristicReport()
+        if self.config.heuristic2:
+            apply_heuristic2(
+                process, trap, self.functions, self.config.frame_slack, report
+            )
+        if self.config.heuristic1:
+            apply_heuristic1(
+                process, trap, self.config.fill_int, self.config.fill_float, report
+            )
+        session.set_pc(trap.pc + 1)
+        elapsed = time.perf_counter() - start
+        return InterventionRecord(
+            signal=trap.signal,
+            pc=trap.pc,
+            instr_text=trap.instr.text() if trap.instr is not None else "<fetch fault>",
+            actions=report.actions,
+            h1_fired=report.h1_fired,
+            h2_fired=report.h2_fired,
+            repair_seconds=elapsed,
+        )
+
+
+__all__ = ["Modifier", "InterventionRecord"]

@@ -1,0 +1,83 @@
+"""The LetGo monitor: signal-table management (paper Table 1, section 4.1).
+
+The monitor is the component "attached to the application at startup": it
+re-defines the behaviour of crash signals from *terminate* to *stop and
+hand control to the modifier*, exactly what the original does with gdb's
+``handle SIGSEGV stop nopass``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import LetGoConfig
+from repro.machine.debugger import DebugSession
+from repro.machine.process import Process
+from repro.machine.signals import Signal, Trap
+
+
+@dataclass(frozen=True)
+class SignalPolicy:
+    """Disposition of one signal under the monitor (a Table-1 row)."""
+
+    signal: Signal
+    stop: bool             # program stops (monitor takes control)
+    pass_to_program: bool  # signal delivered to the program (kills it)
+    description: str
+
+    def row(self) -> tuple[str, str, str, str]:
+        """(signal, stop, pass, description) formatted like Table 1."""
+        return (
+            self.signal.name,
+            "Yes" if self.stop else "No",
+            "Yes" if self.pass_to_program else "No",
+            self.description,
+        )
+
+
+_DESCRIPTIONS = {
+    Signal.SIGSEGV: "Segfault",
+    Signal.SIGBUS: "Bus error",
+    Signal.SIGABRT: "Aborted",
+    Signal.SIGFPE: "FP/div exception",
+}
+
+
+class Monitor:
+    """Installs LetGo's signal handling over a process.
+
+    Use :meth:`attach` to get a :class:`DebugSession` whose traps the
+    monitor classifies via :meth:`intercepts`.
+    """
+
+    def __init__(self, config: LetGoConfig):
+        self.config = config
+
+    def attach(self, process: Process) -> DebugSession:
+        """Attach to *process* (the gdb 'run inside the debugger' step)."""
+        return DebugSession(process)
+
+    def intercepts(self, signal: Signal) -> bool:
+        """True if this signal stops the program for repair."""
+        return signal in self.config.handled_signals
+
+    def policy_for(self, signal: Signal) -> SignalPolicy:
+        """The monitor's disposition for *signal*."""
+        handled = self.intercepts(signal)
+        return SignalPolicy(
+            signal=signal,
+            stop=handled,
+            pass_to_program=not handled,
+            description=_DESCRIPTIONS.get(signal, signal.name),
+        )
+
+    def signal_table(self) -> list[SignalPolicy]:
+        """All modelled signals with their dispositions (Table 1 + SIGFPE)."""
+        return [self.policy_for(s) for s in Signal]
+
+    def classify(self, trap: Trap) -> str:
+        """'intercept' if the monitor takes control, else 'default'."""
+        return "intercept" if self.intercepts(trap.signal) else "default"
+
+
+__all__ = ["Monitor", "SignalPolicy"]

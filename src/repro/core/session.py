@@ -1,0 +1,130 @@
+"""LetGo session: run a process to completion under LetGo supervision.
+
+This is the public entry point of the core package.  It wires together the
+monitor (signal interception) and the modifier (state repair) around a
+debug session, implementing the full Figure-3 interaction loop:
+
+1. attach, configure signal handling;
+2. run; on an intercepted signal, stop;
+3. repair state, advance the PC;
+4. resume; a *second* crash (or an unhandled signal) terminates the run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.functions import FunctionTable
+from repro.core.config import LetGoConfig
+from repro.core.modifier import InterventionRecord, Modifier
+from repro.core.monitor import Monitor
+from repro.machine.debugger import STOP_BUDGET, STOP_EXITED, STOP_TRAP
+from repro.machine.process import Process
+from repro.machine.signals import Signal
+
+#: Final status values of a LetGo-supervised run.
+COMPLETED = "completed"      # program halted cleanly
+TERMINATED = "terminated"    # killed by a signal LetGo did not (re)handle
+HUNG = "hung"                # instruction budget exhausted
+
+
+@dataclass
+class LetGoRunReport:
+    """Everything observable about one supervised run."""
+
+    status: str
+    steps: int
+    interventions: list[InterventionRecord] = field(default_factory=list)
+    final_signal: Signal | None = None
+    exit_code: int | None = None
+    output: list[tuple[str, int | float]] = field(default_factory=list)
+
+    @property
+    def intervened(self) -> bool:
+        """True if LetGo elided at least one crash."""
+        return bool(self.interventions)
+
+    @property
+    def gave_up(self) -> bool:
+        """True if LetGo intervened but the program still died (double crash)."""
+        return self.status == TERMINATED and self.intervened
+
+    def repair_seconds(self) -> float:
+        """Total wall-clock time spent inside the modifier."""
+        return sum(r.repair_seconds for r in self.interventions)
+
+
+class LetGoSession:
+    """Supervise processes of one program image under a LetGo config.
+
+    The function table is computed once (the paper's one-time PIN pass)
+    and shared across runs.
+    """
+
+    def __init__(self, config: LetGoConfig, functions: FunctionTable):
+        self.config = config
+        self.monitor = Monitor(config)
+        self.modifier = Modifier(config, functions)
+
+    def run(self, process: Process, max_steps: int) -> LetGoRunReport:
+        """Run *process* under LetGo until exit, death, or budget."""
+        session = self.monitor.attach(process)
+        interventions: list[InterventionRecord] = []
+        remaining = max_steps
+        total_steps = 0
+        while True:
+            event = session.cont(remaining)
+            total_steps += event.steps
+            remaining -= event.steps
+            if event.kind == STOP_EXITED:
+                return LetGoRunReport(
+                    status=COMPLETED,
+                    steps=total_steps,
+                    interventions=interventions,
+                    exit_code=process.exit_code,
+                    output=list(process.output),
+                )
+            if event.kind == STOP_BUDGET:
+                return LetGoRunReport(
+                    status=HUNG,
+                    steps=total_steps,
+                    interventions=interventions,
+                    output=list(process.output),
+                )
+            assert event.kind == STOP_TRAP and event.trap is not None
+            trap = event.trap
+            can_repair = (
+                self.monitor.intercepts(trap.signal)
+                and len(interventions) < self.config.max_interventions
+                and remaining > 0
+            )
+            if not can_repair:
+                session.deliver_default(trap)
+                return LetGoRunReport(
+                    status=TERMINATED,
+                    steps=total_steps,
+                    interventions=interventions,
+                    final_signal=trap.signal,
+                    output=list(process.output),
+                )
+            interventions.append(self.modifier.repair(session, trap))
+
+
+def run_under_letgo(
+    process: Process,
+    config: LetGoConfig,
+    functions: FunctionTable,
+    max_steps: int,
+) -> LetGoRunReport:
+    """One-shot convenience wrapper around :class:`LetGoSession`."""
+    return LetGoSession(config, functions).run(process, max_steps)
+
+
+__all__ = [
+    "LetGoSession",
+    "LetGoRunReport",
+    "run_under_letgo",
+    "COMPLETED",
+    "TERMINATED",
+    "HUNG",
+]

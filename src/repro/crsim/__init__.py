@@ -1,0 +1,74 @@
+"""Continuous-time C/R simulation (paper section 7).
+
+State machines M-S (standard checkpoint/restart) and M-L (C/R + LetGo)
+over Poisson fault arrivals, with Young-interval checkpointing and the
+Table-4 parameter model.  Used to reproduce Figures 7 and 8 and the
+Section-8 HPL discussion.
+"""
+
+from repro.crsim.analytic import (
+    daly_optimal_interval,
+    expected_efficiency_letgo,
+    expected_efficiency_standard,
+)
+from repro.crsim.decision import (
+    GainPoint,
+    Recommendation,
+    gain_surface,
+    recommend,
+)
+from repro.crsim.machines import SimResult, simulate_letgo, simulate_standard
+from repro.crsim.optimize import OptimalInterval, optimize_interval
+from repro.crsim.params import (
+    BASELINE_MTBFAULTS,
+    PAPER_APP_PARAMS,
+    T_CHK_CHOICES,
+    YEAR,
+    AppParams,
+    SystemParams,
+    young_interval,
+)
+from repro.crsim.simulator import (
+    EfficiencyComparison,
+    compare_efficiency,
+    mean_efficiency,
+    single_runs,
+)
+from repro.crsim.sweep import (
+    FIG8_NODE_COUNTS,
+    IntervalPoint,
+    sweep_checkpoint_overhead,
+    sweep_interval_multiplier,
+    sweep_system_scale,
+)
+
+__all__ = [
+    "daly_optimal_interval",
+    "expected_efficiency_standard",
+    "expected_efficiency_letgo",
+    "GainPoint",
+    "gain_surface",
+    "Recommendation",
+    "recommend",
+    "OptimalInterval",
+    "optimize_interval",
+    "SimResult",
+    "simulate_standard",
+    "simulate_letgo",
+    "SystemParams",
+    "AppParams",
+    "young_interval",
+    "PAPER_APP_PARAMS",
+    "T_CHK_CHOICES",
+    "BASELINE_MTBFAULTS",
+    "YEAR",
+    "EfficiencyComparison",
+    "compare_efficiency",
+    "mean_efficiency",
+    "single_runs",
+    "FIG8_NODE_COUNTS",
+    "IntervalPoint",
+    "sweep_checkpoint_overhead",
+    "sweep_interval_multiplier",
+    "sweep_system_scale",
+]

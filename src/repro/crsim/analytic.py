@@ -1,0 +1,100 @@
+"""Closed-form checkpoint/restart approximations (Young, Daly).
+
+The Figure-6 simulation is the ground truth of this package; these
+first-order formulas exist to sanity-check it (tests assert simulation ~
+formula in the regimes where the formula's assumptions hold) and to give
+users instant estimates without simulating.
+
+Notation: ``T`` useful work per interval, ``C`` checkpoint cost (incl.
+synchronisation), ``R`` recovery cost, ``M`` mean time between *failures*
+(crashes).  Young's classic result: ``T* = sqrt(2 C M)``.
+"""
+
+from __future__ import annotations
+
+from math import exp, sqrt
+
+from repro.crsim.params import AppParams, SystemParams
+from repro.errors import SimulationError
+
+
+def daly_optimal_interval(t_chk: float, mtbf: float) -> float:
+    """Daly's higher-order optimum (reduces to Young's for small C/M)."""
+    if t_chk <= 0 or mtbf <= 0:
+        raise SimulationError("t_chk and mtbf must be positive")
+    if t_chk >= 2 * mtbf:
+        return mtbf  # degenerate regime: checkpoint as rarely as possible
+    root = sqrt(2 * t_chk * mtbf)
+    return root * (1 + sqrt(t_chk / (18 * mtbf))) - t_chk
+
+
+def expected_efficiency_standard(
+    system: SystemParams, app: AppParams, interval: float | None = None
+) -> float:
+    """First-order efficiency of the M-S machine.
+
+    Model: per attempted interval of length ``T`` the machine spends
+    ``T + T_v + C`` on success; a crash arrives within the interval with
+    probability ``1 - exp(-T/M)`` and costs (on average) half the interval
+    plus recovery; verification fails with probability
+    ``1 - P_v^lambda_latent`` where ``lambda_latent`` is the expected
+    number of non-crash faults per interval.  Valid when failure costs
+    are small relative to ``M`` (the usual Young regime).
+    """
+    mtbf = app.mtbf_failures(system.mtbfaults)
+    T = interval if interval is not None else sqrt(2 * system.t_chk * mtbf)
+    overhead = system.t_v + system.t_chk + system.t_sync
+    restart = system.recovery + system.t_sync
+    # crash interruptions per successful interval
+    p_crash_interval = 1.0 - exp(-T / mtbf)
+    crash_cost = p_crash_interval / max(1.0 - p_crash_interval, 1e-12) * (
+        T / 2.0 + restart
+    )
+    # latent faults and verification failures
+    latent_rate = T / system.mtbfaults * (1.0 - app.p_crash)
+    p_verify_pass = app.p_v**latent_rate
+    verify_cost = (1.0 - p_verify_pass) / max(p_verify_pass, 1e-12) * (
+        T + system.t_v + restart
+    )
+    return T / (T + overhead + crash_cost + verify_cost)
+
+
+def expected_efficiency_letgo(
+    system: SystemParams, app: AppParams, interval: float | None = None
+) -> float:
+    """First-order efficiency of the M-L machine (same approximations).
+
+    Crashes arrive at the original rate but only ``1 - P_letgo`` of them
+    roll back; elided crashes cost ``T_letgo`` and push the interval's
+    verification to ``P_v'``.
+    """
+    mtbf = app.mtbf_failures(system.mtbfaults)
+    mtbf_letgo = app.mtbf_letgo(system.mtbfaults)
+    T = interval if interval is not None else sqrt(
+        2 * system.t_chk * min(mtbf_letgo, 1e18)
+    )
+    overhead = system.t_v + system.t_chk + system.t_sync
+    restart = system.recovery + system.t_sync
+    # rolled-back crashes: rate reduced by continuability
+    p_crash_interval = 1.0 - exp(-T / mtbf_letgo)
+    crash_cost = p_crash_interval / max(1.0 - p_crash_interval, 1e-12) * (
+        T / 2.0 + restart
+    )
+    # repairs: all crashes pay T_letgo
+    repairs_per_interval = T / mtbf
+    repair_cost = repairs_per_interval * system.t_letgo
+    # verification: latent faults use P_v; a repaired interval uses P_v'
+    latent_rate = T / system.mtbfaults * (1.0 - app.p_crash)
+    p_repaired = 1.0 - exp(-T / mtbf * app.p_letgo)
+    p_pass = (app.p_v**latent_rate) * (
+        p_repaired * app.p_v_prime + (1.0 - p_repaired)
+    )
+    verify_cost = (1.0 - p_pass) / max(p_pass, 1e-12) * (T + system.t_v + restart)
+    return T / (T + overhead + repair_cost + crash_cost + verify_cost)
+
+
+__all__ = [
+    "daly_optimal_interval",
+    "expected_efficiency_standard",
+    "expected_efficiency_letgo",
+]

@@ -1,0 +1,140 @@
+"""Operator decision support: when is LetGo worth turning on?
+
+The paper's Section 8 ("Determining when/how to use LetGo") lists the
+factors an operator weighs: fault rate, the application's SDC exposure
+under LetGo, checkpoint overhead, and the acceptable SDC increase.  This
+module turns the Figure-6 model into that decision: a gain surface over
+the parameter space and a recommendation with the reasons attached.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crsim.params import AppParams, SystemParams, YEAR
+from repro.crsim.simulator import compare_efficiency
+
+
+@dataclass(frozen=True)
+class GainPoint:
+    """One cell of the gain surface."""
+
+    t_chk: float
+    mtbfaults: float
+    standard: float
+    letgo: float
+
+    @property
+    def gain(self) -> float:
+        return self.letgo - self.standard
+
+
+def gain_surface(
+    app: AppParams,
+    t_chk_values: tuple[float, ...] = (12.0, 120.0, 1200.0),
+    mtbfaults_values: tuple[float, ...] = (5400.0, 21600.0, 86400.0),
+    sync_frac: float = 0.10,
+    needed: float = YEAR,
+    seeds: list[int] | None = None,
+) -> list[GainPoint]:
+    """Efficiency gain over a (T_chk, MTBFaults) grid."""
+    seeds = seeds if seeds is not None else [1, 2]
+    points = []
+    for t_chk in t_chk_values:
+        for mtbfaults in mtbfaults_values:
+            comparison = compare_efficiency(
+                SystemParams(t_chk=t_chk, mtbfaults=mtbfaults, sync_frac=sync_frac),
+                app,
+                needed=needed,
+                seeds=seeds,
+            )
+            points.append(
+                GainPoint(
+                    t_chk=t_chk,
+                    mtbfaults=mtbfaults,
+                    standard=comparison.standard,
+                    letgo=comparison.letgo,
+                )
+            )
+    return points
+
+
+@dataclass(frozen=True)
+class Recommendation:
+    """Whether to enable LetGo for an (app, platform) pair, and why."""
+
+    use_letgo: bool
+    expected_gain: float
+    sdc_rate_without: float     # expected fraction of runs with silent errors
+    sdc_rate_with: float
+    reasons: tuple[str, ...]
+
+    def summary(self) -> str:
+        verdict = "ENABLE LetGo" if self.use_letgo else "keep plain C/R"
+        lines = [
+            f"{verdict} (expected efficiency gain {self.expected_gain:+.4f})",
+            f"SDC exposure: {self.sdc_rate_without:.3%} -> {self.sdc_rate_with:.3%}",
+        ]
+        lines += [f"  - {reason}" for reason in self.reasons]
+        return "\n".join(lines)
+
+
+def recommend(
+    app: AppParams,
+    system: SystemParams,
+    sdc_fraction_without: float,
+    sdc_fraction_with: float,
+    max_sdc_increase: float = 0.02,
+    min_gain: float = 0.005,
+    needed: float = YEAR,
+    seeds: list[int] | None = None,
+) -> Recommendation:
+    """Decide per the Section-8 factor list.
+
+    ``sdc_fraction_without`` / ``sdc_fraction_with`` are overall SDC rates
+    from fault injection (fractions of faulty runs ending in silent
+    corruption) -- :meth:`CampaignResult.sdc_rate` values for baseline and
+    LetGo campaigns.  ``max_sdc_increase`` is the operator's tolerance for
+    additional silent corruption; ``min_gain`` the efficiency gain that
+    justifies deployment.
+    """
+    comparison = compare_efficiency(system, app, needed=needed, seeds=seeds or [1, 2])
+    gain = comparison.gain_absolute
+    sdc_increase = sdc_fraction_with - sdc_fraction_without
+    reasons: list[str] = []
+    ok = True
+    if gain < min_gain:
+        ok = False
+        reasons.append(
+            f"efficiency gain {gain:+.4f} below the {min_gain:+.4f} threshold "
+            f"(crash rate {app.p_crash:.0%}, continuability {app.p_letgo:.0%})"
+        )
+    else:
+        reasons.append(
+            f"efficiency gain {gain:+.4f} at T_chk={system.t_chk:.0f}s, "
+            f"MTBFaults={system.mtbfaults:.0f}s"
+        )
+    if sdc_increase > max_sdc_increase:
+        ok = False
+        reasons.append(
+            f"SDC increase {sdc_increase:+.3%} exceeds the operator limit "
+            f"{max_sdc_increase:+.3%}"
+        )
+    else:
+        reasons.append(f"SDC increase {sdc_increase:+.3%} within tolerance")
+    if app.p_v_prime < 0.5:
+        ok = False
+        reasons.append(
+            f"acceptance check passes only {app.p_v_prime:.0%} of continued "
+            "runs: most continuations are wasted work"
+        )
+    return Recommendation(
+        use_letgo=ok,
+        expected_gain=gain,
+        sdc_rate_without=sdc_fraction_without,
+        sdc_rate_with=sdc_fraction_with,
+        reasons=tuple(reasons),
+    )
+
+
+__all__ = ["GainPoint", "gain_surface", "Recommendation", "recommend"]

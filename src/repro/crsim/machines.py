@@ -1,0 +1,271 @@
+"""The two C/R state machines of Figure 6: M-S (standard) and M-L (LetGo).
+
+Both are continuous-time simulations driven by exponentially distributed
+fault inter-arrival times (a Poisson process, as in the paper).  ``t`` is
+always "time until the next fault"; transitions redraw it, which is valid
+because the exponential is memoryless.  Variables follow the figure:
+
+``cost``    accumulated wall-clock time,
+``u``       accumulated *useful* work,
+``q``       useful work inside the current checkpoint interval,
+``faults``  faults accumulated since the state they were last reset in --
+            the acceptance check passes with probability ``P_v^faults``
+            (``P_v'^faults`` after a LetGo continuation),
+``isLetGo`` whether the interval reaching VERIF went through a repair.
+
+Efficiency is ``u / cost`` at termination (``u`` >= the needed compute
+time).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.crsim.params import AppParams, SystemParams, YEAR, young_interval
+from repro.errors import SimulationError
+
+
+#: Runs whose cost exceeds ``needed * COST_GUARD_FACTOR`` are declared
+#: non-converging (efficiency below 0.1%) and stopped -- a pathological
+#: parameter corner (e.g. an interval so long that verification can never
+#: pass) must not hang the simulation.
+COST_GUARD_FACTOR = 1000.0
+
+#: Upper bound on the checkpoint interval, in mean-times-between-faults:
+#: beyond ~50 faults per interval every acceptance check fails anyway.
+MAX_INTERVAL_MTBFAULTS = 50.0
+
+
+@dataclass
+class SimResult:
+    """Outcome of one state-machine simulation."""
+
+    efficiency: float
+    cost: float
+    useful: float
+    interval: float            # checkpoint interval T used
+    checkpoints: int = 0
+    crashes: int = 0           # crash events (rollbacks in M-S)
+    letgo_continues: int = 0   # LETGO -> CONT transitions (M-L only)
+    letgo_failures: int = 0    # LETGO -> COMP rollbacks (M-L only)
+    verify_failures: int = 0   # VERIF -> COMP rollbacks
+    faults_total: int = 0      # non-crash faults observed
+    converged: bool = True     # False: stopped by the cost guard
+
+    def summary(self) -> str:
+        return (
+            f"eff={self.efficiency:.4f} ckpts={self.checkpoints} "
+            f"crashes={self.crashes} verif_fail={self.verify_failures} "
+            f"letgo={self.letgo_continues}/{self.letgo_continues + self.letgo_failures}"
+        )
+
+
+@dataclass
+class _Clock:
+    """Fault arrivals + coin flips, seeded."""
+
+    rng: np.random.Generator
+    mtbfaults: float
+    draws: int = field(default=0)
+
+    def next_fault(self) -> float:
+        self.draws += 1
+        return float(self.rng.exponential(self.mtbfaults))
+
+    def happens(self, probability: float) -> bool:
+        return bool(self.rng.random() < probability)
+
+
+def _check(needed: float) -> None:
+    if needed <= 0:
+        raise SimulationError("needed compute time must be positive")
+
+
+def simulate_standard(
+    system: SystemParams,
+    app: AppParams,
+    needed: float = 10 * YEAR,
+    seed: int = 0,
+    interval: float | None = None,
+) -> SimResult:
+    """M-S: the standard C/R scheme (Figure 6a)."""
+    _check(needed)
+    clock = _Clock(np.random.default_rng(seed), system.mtbfaults)
+    T = interval if interval is not None else young_interval(
+        system.t_chk, app.mtbf_failures(system.mtbfaults)
+    )
+    # Termination guards: near-infinite MTBF, and intervals so long that
+    # faults accumulate beyond any acceptance check's survival.
+    T = min(T, needed, MAX_INTERVAL_MTBFAULTS * system.mtbfaults)
+    t_r, t_sync, t_v, t_chk = system.recovery, system.t_sync, system.t_v, system.t_chk
+    result = SimResult(efficiency=0.0, cost=0.0, useful=0.0, interval=T)
+    cost_guard = needed * COST_GUARD_FACTOR
+
+    cost = 0.0
+    u = 0.0
+    q = 0.0
+    faults = 0
+    t = clock.next_fault()
+    while cost < cost_guard:
+        # -- COMP ------------------------------------------------------------
+        while t <= T - q:
+            if clock.happens(app.p_crash):  # (4) crash: roll back
+                cost += t + t_r + t_sync
+                q = 0.0
+                faults = 0
+                t = clock.next_fault()
+                result.crashes += 1
+            else:  # (3) latent fault
+                cost += t
+                q += t
+                faults += 1
+                t = clock.next_fault()
+                result.faults_total += 1
+        # (1) interval complete -> VERIF
+        cost += T - q
+        q = T
+        t = clock.next_fault()
+        # -- VERIF ------------------------------------------------------------
+        if clock.happens(app.p_v**faults):  # (5) check passed -> CHK
+            cost += t_v
+            u += T
+            q = 0.0
+            faults = 0
+            t = clock.next_fault()
+            # -- CHK -------------------------------------------------------
+            if u >= needed:  # (7) done
+                break
+            cost += t_chk + t_sync  # (6)
+            q = 0.0
+            faults = 0
+            t = clock.next_fault()
+            result.checkpoints += 1
+        else:  # (2) check failed: roll back
+            cost += t_v + t_r + t_sync
+            q = 0.0
+            faults = 0
+            t = clock.next_fault()
+            result.verify_failures += 1
+    else:
+        result.converged = False
+
+    result.cost = cost
+    result.useful = u
+    result.efficiency = u / cost if cost > 0 else 0.0
+    return result
+
+
+def simulate_letgo(
+    system: SystemParams,
+    app: AppParams,
+    needed: float = 10 * YEAR,
+    seed: int = 0,
+    interval: float | None = None,
+) -> SimResult:
+    """M-L: the C/R scheme with LetGo (Figure 6b).
+
+    The checkpoint interval uses ``MTBF_letgo = MTBF / (1 - Continuability)``
+    -- crashes are rarer under LetGo, so checkpoints are taken less often.
+    """
+    _check(needed)
+    clock = _Clock(np.random.default_rng(seed), system.mtbfaults)
+    T = interval if interval is not None else young_interval(
+        system.t_chk, app.mtbf_letgo(system.mtbfaults)
+    )
+    # Termination guards (continuability -> 1 gives an infinite MTBF, and
+    # fault-saturated intervals would loop on failed verifications forever).
+    T = min(T, needed, MAX_INTERVAL_MTBFAULTS * system.mtbfaults)
+    t_r, t_sync, t_v, t_chk = system.recovery, system.t_sync, system.t_v, system.t_chk
+    t_letgo = system.t_letgo
+    result = SimResult(efficiency=0.0, cost=0.0, useful=0.0, interval=T)
+    cost_guard = needed * COST_GUARD_FACTOR
+
+    cost = 0.0
+    u = 0.0
+    q = 0.0
+    faults = 0
+    is_letgo = False
+    t = clock.next_fault()
+    while cost < cost_guard:
+        # -- COMP / CONT (identical dynamics except crash handling) --------
+        in_cont = False
+        reached_verify = False
+        while not reached_verify:
+            if t > T - q:  # (1)/(5) interval complete -> VERIF
+                cost += T - q
+                if in_cont:
+                    is_letgo = True  # (5) sets the flag
+                q = T
+                t = clock.next_fault()
+                reached_verify = True
+            elif clock.happens(app.p_crash):  # crash-causing fault
+                if not in_cont:
+                    # (3) COMP -> LETGO: work so far is kept
+                    cost += t
+                    q += t
+                    faults += 1
+                    t = clock.next_fault()
+                    if clock.happens(app.p_letgo):  # (4) repaired -> CONT
+                        cost += t_letgo
+                        in_cont = True
+                        result.letgo_continues += 1
+                    else:  # (11) give up: roll back
+                        cost += t_letgo + t_r + t_sync
+                        q = 0.0
+                        faults = 0
+                        t = clock.next_fault()
+                        is_letgo = False
+                        result.letgo_failures += 1
+                else:
+                    # (6) second crash in CONT: roll back for real
+                    cost += t + t_r + t_sync
+                    q = 0.0
+                    faults = 0
+                    t = clock.next_fault()
+                    in_cont = False
+                    is_letgo = False
+                    result.crashes += 1
+            else:  # (7)/COMP-self-loop: latent fault
+                cost += t
+                q += t
+                faults += 1
+                t = clock.next_fault()
+                result.faults_total += 1
+        # -- VERIF ------------------------------------------------------------
+        p_pass = (app.p_v_prime if is_letgo else app.p_v) ** faults
+        if clock.happens(p_pass):  # (9) -> CHK
+            cost += t_v
+            u += T
+            q = 0.0
+            is_letgo = False
+            if u >= needed:
+                break
+            cost += t_chk + t_sync
+            faults = 0
+            t = clock.next_fault()
+            result.checkpoints += 1
+        else:  # (2) roll back
+            cost += t_v + t_r + t_sync
+            q = 0.0
+            faults = 0
+            t = clock.next_fault()
+            is_letgo = False
+            result.verify_failures += 1
+    else:
+        result.converged = False
+
+    result.cost = cost
+    result.useful = u
+    result.efficiency = u / cost if cost > 0 else 0.0
+    return result
+
+
+__all__ = [
+    "SimResult",
+    "simulate_standard",
+    "simulate_letgo",
+    "COST_GUARD_FACTOR",
+    "MAX_INTERVAL_MTBFAULTS",
+]

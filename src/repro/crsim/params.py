@@ -1,0 +1,155 @@
+"""C/R model parameters (paper Table 4) and Young's checkpoint interval.
+
+Three parameter classes, as in the paper:
+
+* **Configured** -- checkpoint write time ``T_chk`` and the mean time
+  between *faults* (``MTBFaults``), set from platform characteristics;
+* **Estimated** -- per-application probabilities (``P_crash``, ``P_v``,
+  ``P_v'``, ``P_letgo``) obtained from fault-injection campaigns (ours or
+  the paper's Table 3, shipped as :data:`PAPER_APP_PARAMS`);
+* **Derived** -- Young's interval, recovery time ``T_r = T_chk``,
+  verification time ``T_v = 1% T_chk``, synchronisation ``T_sync`` as a
+  fraction of ``T_chk``, ``T_letgo = 5 s``, and
+  ``MTBF_letgo = MTBF / (1 - Continuability)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import sqrt
+
+from repro.errors import SimulationError
+
+#: Seconds in a Julian year (simulation horizon unit).
+YEAR = 365.25 * 24 * 3600
+
+
+def young_interval(t_chk: float, mtbf: float) -> float:
+    """Young's first-order optimal checkpoint interval: sqrt(2 * T_chk * MTBF)."""
+    if t_chk <= 0 or mtbf <= 0:
+        raise SimulationError("t_chk and mtbf must be positive")
+    return sqrt(2.0 * t_chk * mtbf)
+
+
+@dataclass(frozen=True)
+class SystemParams:
+    """Platform-level (Configured + Derived) parameters, in seconds."""
+
+    t_chk: float                 # checkpoint write time
+    mtbfaults: float             # mean time between hardware faults
+    sync_frac: float = 0.10      # T_sync = sync_frac * t_chk (10% or 50%)
+    verify_frac: float = 0.01    # T_v = verify_frac * t_chk
+    t_letgo: float = 5.0         # time spent inside LetGo per repair
+    t_r: float | None = None     # recovery time; defaults to t_chk
+
+    def __post_init__(self) -> None:
+        if self.t_chk <= 0 or self.mtbfaults <= 0:
+            raise SimulationError("t_chk and mtbfaults must be positive")
+
+    @property
+    def t_sync(self) -> float:
+        """Multi-node coordination overhead per checkpoint/recovery."""
+        return self.sync_frac * self.t_chk
+
+    @property
+    def t_v(self) -> float:
+        """Application acceptance-check time."""
+        return self.verify_frac * self.t_chk
+
+    @property
+    def recovery(self) -> float:
+        """T_r: time to load the previous checkpoint."""
+        return self.t_chk if self.t_r is None else self.t_r
+
+    def scaled(self, factor: float) -> "SystemParams":
+        """Same platform with MTBFaults scaled by 1/factor (more nodes)."""
+        return SystemParams(
+            t_chk=self.t_chk,
+            mtbfaults=self.mtbfaults / factor,
+            sync_frac=self.sync_frac,
+            verify_frac=self.verify_frac,
+            t_letgo=self.t_letgo,
+            t_r=self.t_r,
+        )
+
+
+@dataclass(frozen=True)
+class AppParams:
+    """Per-application (Estimated) probabilities."""
+
+    name: str
+    p_crash: float    # P(fault crashes the application)
+    p_v: float        # P(acceptance check passes | fault, no crash)
+    p_v_prime: float  # P(acceptance check passes | LetGo continued)
+    p_letgo: float    # Continuability (Eq. 1)
+
+    def __post_init__(self) -> None:
+        for field_name in ("p_crash", "p_v", "p_v_prime", "p_letgo"):
+            value = getattr(self, field_name)
+            if not 0.0 <= value <= 1.0:
+                raise SimulationError(f"{field_name}={value} outside [0, 1]")
+
+    def mtbf_failures(self, mtbfaults: float) -> float:
+        """Mean time between *failures* (crashes): MTBFaults / P_crash."""
+        if self.p_crash <= 0.0:
+            return float("inf")
+        return mtbfaults / self.p_crash
+
+    def mtbf_letgo(self, mtbfaults: float) -> float:
+        """MTBF after LetGo elides crashes: MTBF / (1 - Continuability)."""
+        base = self.mtbf_failures(mtbfaults)
+        survive = 1.0 - self.p_letgo
+        return base / survive if survive > 0.0 else float("inf")
+
+
+def _from_table3(
+    name: str,
+    detected: float,
+    benign: float,
+    sdc: float,
+    double_crash: float,
+    c_detected: float,
+    c_benign: float,
+    c_sdc: float,
+) -> AppParams:
+    """Build AppParams from a Table-3 row (values as fractions of runs)."""
+    crash = double_crash + c_detected + c_benign + c_sdc
+    finished = detected + benign + sdc
+    continued = c_detected + c_benign + c_sdc
+    return AppParams(
+        name=name,
+        p_crash=crash,
+        p_v=(benign + sdc) / finished if finished else 1.0,
+        p_v_prime=(c_benign + c_sdc) / continued if continued else 1.0,
+        p_letgo=continued / crash if crash else 0.0,
+    )
+
+
+#: Per-application parameters lifted from the paper's Table 3 (LetGo-E).
+PAPER_APP_PARAMS: dict[str, AppParams] = {
+    "lulesh": _from_table3("lulesh", 0.0090, 0.2200, 0.0013, 0.2500, 0.0230, 0.4950, 0.0017),
+    "clamr": _from_table3("clamr", 0.0050, 0.3330, 0.0050, 0.2500, 0.0110, 0.3960, 0.0000),
+    "snap": _from_table3("snap", 0.0002, 0.4394, 0.0001, 0.2077, 0.0006, 0.3520, 0.0000),
+    "comd": _from_table3("comd", 0.0100, 0.5500, 0.0110, 0.1832, 0.0085, 0.2213, 0.0160),
+    "pennant": _from_table3("pennant", 0.0100, 0.5000, 0.0200, 0.1900, 0.0250, 0.2270, 0.0280),
+    # HPL from the Section-8 discussion: 34% crash, ~70% continuability,
+    # SDC 1% -> 3%, acceptance checks "much more selective" (P_v ~ 0.42).
+    "hpl": AppParams(name="hpl", p_crash=0.34, p_v=0.424, p_v_prime=0.45, p_letgo=0.70),
+}
+
+#: The checkpoint overheads the paper sweeps (well/average/under-provisioned).
+T_CHK_CHOICES = (12.0, 120.0, 1200.0)
+
+#: The baseline platform: MTBF = 12 h => MTBFaults = 21600 s (Section 7).
+BASELINE_MTBFAULTS = 21600.0
+
+
+__all__ = [
+    "SystemParams",
+    "AppParams",
+    "young_interval",
+    "PAPER_APP_PARAMS",
+    "T_CHK_CHOICES",
+    "BASELINE_MTBFAULTS",
+    "YEAR",
+]

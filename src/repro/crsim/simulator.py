@@ -1,0 +1,89 @@
+"""High-level simulation driver: efficiency with vs. without LetGo."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.crsim.machines import SimResult, simulate_letgo, simulate_standard
+from repro.crsim.params import AppParams, SystemParams, YEAR
+
+
+@dataclass(frozen=True)
+class EfficiencyComparison:
+    """Asymptotic efficiency of both schemes for one configuration."""
+
+    app: str
+    t_chk: float
+    mtbfaults: float
+    standard: float
+    letgo: float
+
+    @property
+    def gain_absolute(self) -> float:
+        """Absolute efficiency gain (paper reports 1% .. 11%)."""
+        return self.letgo - self.standard
+
+    @property
+    def gain_relative(self) -> float:
+        """Relative gain (time-to-solution speedup, 1.01x .. 1.20x)."""
+        return self.letgo / self.standard if self.standard > 0 else float("inf")
+
+    def row(self) -> tuple:
+        return (
+            self.app,
+            self.t_chk,
+            self.mtbfaults,
+            self.standard,
+            self.letgo,
+            self.gain_absolute,
+            self.gain_relative,
+        )
+
+
+def mean_efficiency(
+    simulate,
+    system: SystemParams,
+    app: AppParams,
+    needed: float,
+    seeds: list[int],
+) -> float:
+    """Average efficiency across seeds (the asymptotic value stabilises
+    quickly because ``needed`` spans thousands of checkpoint intervals)."""
+    return float(
+        np.mean([simulate(system, app, needed=needed, seed=s).efficiency for s in seeds])
+    )
+
+
+def compare_efficiency(
+    system: SystemParams,
+    app: AppParams,
+    needed: float = 2 * YEAR,
+    seeds: list[int] | None = None,
+) -> EfficiencyComparison:
+    """Run both machines on the same configuration."""
+    seeds = seeds if seeds is not None else [1, 2, 3]
+    return EfficiencyComparison(
+        app=app.name,
+        t_chk=system.t_chk,
+        mtbfaults=system.mtbfaults,
+        standard=mean_efficiency(simulate_standard, system, app, needed, seeds),
+        letgo=mean_efficiency(simulate_letgo, system, app, needed, seeds),
+    )
+
+
+def single_runs(
+    system: SystemParams,
+    app: AppParams,
+    needed: float = 2 * YEAR,
+    seed: int = 1,
+) -> tuple[SimResult, SimResult]:
+    """One seeded run of each machine, with full event counts."""
+    return (
+        simulate_standard(system, app, needed=needed, seed=seed),
+        simulate_letgo(system, app, needed=needed, seed=seed),
+    )
+
+
+__all__ = ["EfficiencyComparison", "compare_efficiency", "mean_efficiency", "single_runs"]

@@ -1,0 +1,125 @@
+"""Parameter sweeps reproducing the paper's Figures 7 and 8.
+
+* Figure 7: efficiency with/without LetGo as the checkpoint overhead grows
+  (T_chk in {12, 120, 1200} s) at MTBFaults = 21600 s, sync = 10%.
+* Figure 8: efficiency as the system scales from 100k to 400k nodes --
+  MTBF shrinks proportionally (12 h at the 100k-node reference, 6 h at
+  200k, 3 h at 400k), shown for T_chk = 12 s and 1200 s.
+* Checkpoint-interval sensitivity (extension): efficiency as the interval
+  moves around Young's optimum.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crsim.machines import simulate_letgo, simulate_standard
+from repro.crsim.params import (
+    BASELINE_MTBFAULTS,
+    T_CHK_CHOICES,
+    AppParams,
+    SystemParams,
+    YEAR,
+    young_interval,
+)
+from repro.crsim.simulator import EfficiencyComparison, compare_efficiency
+
+#: Node counts on the Figure-8 x-axis; the first is the reference scale.
+FIG8_NODE_COUNTS = (100_000, 200_000, 300_000, 400_000)
+
+
+def sweep_checkpoint_overhead(
+    app: AppParams,
+    t_chk_values: tuple[float, ...] = T_CHK_CHOICES,
+    mtbfaults: float = BASELINE_MTBFAULTS,
+    sync_frac: float = 0.10,
+    needed: float = 2 * YEAR,
+    seeds: list[int] | None = None,
+) -> list[EfficiencyComparison]:
+    """Figure 7: one comparison per checkpoint overhead."""
+    return [
+        compare_efficiency(
+            SystemParams(t_chk=t_chk, mtbfaults=mtbfaults, sync_frac=sync_frac),
+            app,
+            needed=needed,
+            seeds=seeds,
+        )
+        for t_chk in t_chk_values
+    ]
+
+
+def sweep_system_scale(
+    app: AppParams,
+    t_chk: float,
+    node_counts: tuple[int, ...] = FIG8_NODE_COUNTS,
+    reference_nodes: int = 100_000,
+    reference_mtbfaults: float = BASELINE_MTBFAULTS,
+    sync_frac: float = 0.10,
+    needed: float = 2 * YEAR,
+    seeds: list[int] | None = None,
+) -> list[tuple[int, EfficiencyComparison]]:
+    """Figure 8: MTBF scales inversely with node count."""
+    out = []
+    for nodes in node_counts:
+        mtbfaults = reference_mtbfaults * reference_nodes / nodes
+        comparison = compare_efficiency(
+            SystemParams(t_chk=t_chk, mtbfaults=mtbfaults, sync_frac=sync_frac),
+            app,
+            needed=needed,
+            seeds=seeds,
+        )
+        out.append((nodes, comparison))
+    return out
+
+
+@dataclass(frozen=True)
+class IntervalPoint:
+    """One point of the interval-sensitivity ablation."""
+
+    multiplier: float
+    interval: float
+    standard: float
+    letgo: float
+
+
+def sweep_interval_multiplier(
+    app: AppParams,
+    system: SystemParams,
+    multipliers: tuple[float, ...] = (0.25, 0.5, 1.0, 2.0, 4.0),
+    needed: float = 2 * YEAR,
+    seed: int = 1,
+) -> list[IntervalPoint]:
+    """Ablation: move the checkpoint interval around Young's optimum.
+
+    El-Sayed & Schroeder (cited in Table 4) report Young's formula is
+    near-optimal in practice; this sweep lets the benches confirm the
+    efficiency curve is flat-topped around the optimum in our model too.
+    """
+    t_standard = young_interval(system.t_chk, app.mtbf_failures(system.mtbfaults))
+    t_letgo = young_interval(system.t_chk, app.mtbf_letgo(system.mtbfaults))
+    points = []
+    for mult in multipliers:
+        std = simulate_standard(
+            system, app, needed=needed, seed=seed, interval=t_standard * mult
+        )
+        lg = simulate_letgo(
+            system, app, needed=needed, seed=seed, interval=t_letgo * mult
+        )
+        points.append(
+            IntervalPoint(
+                multiplier=mult,
+                interval=t_standard * mult,
+                standard=std.efficiency,
+                letgo=lg.efficiency,
+            )
+        )
+    return points
+
+
+__all__ = [
+    "FIG8_NODE_COUNTS",
+    "sweep_checkpoint_overhead",
+    "sweep_system_scale",
+    "IntervalPoint",
+    "sweep_interval_multiplier",
+]

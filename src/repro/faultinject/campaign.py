@@ -1,0 +1,171 @@
+"""Campaign runner: many injections, aggregated per app and LetGo config.
+
+Mirrors the paper's two-phase methodology: one profiling run per app
+(cached on the :class:`~repro.apps.base.MiniApp`), then N injection runs
+with independently drawn (dynamic-instruction, bit) pairs.  Plans are
+drawn once per seed, so campaigns for different LetGo configurations are
+*paired*: every config experiences the identical fault population, which
+is what makes the Figure-5 B-vs-E comparison tight at moderate N.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.apps.base import MiniApp
+from repro.core.config import LetGoConfig
+from repro.faultinject.fault_model import InjectionPlan, plan_injections
+from repro.faultinject.injector import InjectionResult, run_injection
+from repro.faultinject.metrics import (
+    LetGoMetrics,
+    Proportion,
+    compute_metrics,
+    crash_probability,
+    overall_sdc_rate,
+    proportion,
+)
+from repro.faultinject.outcomes import Outcome
+
+
+@dataclass
+class CampaignResult:
+    """Aggregated outcomes of one (app, config) campaign."""
+
+    app_name: str
+    config_name: str           # "baseline" when no LetGo was attached
+    n: int
+    counts: dict[Outcome, int]
+    results: list[InjectionResult] = field(default_factory=list, repr=False)
+
+    # -- basic accessors ---------------------------------------------------
+
+    def fraction(self, outcome: Outcome) -> Proportion:
+        """Share of all injections landing in *outcome*."""
+        return proportion(self.counts.get(outcome, 0), self.n)
+
+    def crash_rate(self) -> Proportion:
+        """Fraction of faults that raised a crash-causing signal."""
+        return crash_probability(self.counts)
+
+    def sdc_rate(self) -> Proportion:
+        """Overall undetected-wrong-result rate (SDC + C-SDC)."""
+        return overall_sdc_rate(self.counts)
+
+    def metrics(self) -> LetGoMetrics:
+        """Eq. 1-4 metrics (meaningful for LetGo campaigns)."""
+        return compute_metrics(self.counts)
+
+    # -- Table 3 row -----------------------------------------------------------
+
+    def table3_row(self) -> dict[str, float]:
+        """The seven Table-3 leaf fractions, normalised by total runs.
+
+        'double crash' folds in unhandled-signal crashes and continued
+        hangs, matching the paper's accounting (everything LetGo failed to
+        convert into a finished run).
+        """
+        n = self.n or 1
+        fold = sum(
+            count
+            for outcome, count in self.counts.items()
+            if outcome.folds_to_double_crash or outcome is Outcome.CRASH
+        )
+        return {
+            "detected": self.counts.get(Outcome.DETECTED, 0) / n,
+            "benign": self.counts.get(Outcome.BENIGN, 0) / n,
+            "sdc": self.counts.get(Outcome.SDC, 0) / n,
+            "double_crash": fold / n,
+            "c_detected": self.counts.get(Outcome.C_DETECTED, 0) / n,
+            "c_benign": self.counts.get(Outcome.C_BENIGN, 0) / n,
+            "c_sdc": self.counts.get(Outcome.C_SDC, 0) / n,
+        }
+
+    # -- C/R-model parameter estimation (Table 4 "Estimated") -----------------
+
+    def estimate_p_crash(self) -> float:
+        """P_crash: fault -> crash probability."""
+        return self.crash_rate().value
+
+    def estimate_p_v(self) -> float:
+        """P_v: P(acceptance check passes | fault, finished without crash)."""
+        finished = (
+            self.counts.get(Outcome.BENIGN, 0)
+            + self.counts.get(Outcome.SDC, 0)
+            + self.counts.get(Outcome.DETECTED, 0)
+        )
+        passed = self.counts.get(Outcome.BENIGN, 0) + self.counts.get(Outcome.SDC, 0)
+        return passed / finished if finished else 1.0
+
+    def estimate_p_v_prime(self) -> float:
+        """P_v': P(acceptance check passes | LetGo continued the run)."""
+        continued = (
+            self.counts.get(Outcome.C_BENIGN, 0)
+            + self.counts.get(Outcome.C_SDC, 0)
+            + self.counts.get(Outcome.C_DETECTED, 0)
+        )
+        passed = self.counts.get(Outcome.C_BENIGN, 0) + self.counts.get(
+            Outcome.C_SDC, 0
+        )
+        return passed / continued if continued else 1.0
+
+    def estimate_p_letgo(self) -> float:
+        """P_letgo: Continuability (Eq. 1)."""
+        return self.metrics().continuability.value
+
+
+def run_campaign(
+    app: MiniApp,
+    n: int,
+    seed: int,
+    config: LetGoConfig | None = None,
+    keep_results: bool = True,
+    plans: list[InjectionPlan] | None = None,
+) -> CampaignResult:
+    """Run *n* injections on *app* under *config* (None = baseline)."""
+    if plans is None:
+        rng = np.random.default_rng(seed)
+        plans = plan_injections(rng, app.golden.instret, n)
+    elif len(plans) != n:
+        raise ValueError("len(plans) must equal n")
+    counts: Counter[Outcome] = Counter()
+    results: list[InjectionResult] = []
+    for plan in plans:
+        result = run_injection(app, plan, config)
+        counts[result.outcome] += 1
+        if keep_results:
+            results.append(result)
+    return CampaignResult(
+        app_name=app.name,
+        config_name=config.name if config is not None else "baseline",
+        n=n,
+        counts=dict(counts),
+        results=results,
+    )
+
+
+def run_paired_campaigns(
+    app: MiniApp,
+    n: int,
+    seed: int,
+    configs: list[LetGoConfig | None],
+    keep_results: bool = False,
+) -> dict[str, CampaignResult]:
+    """Run the same fault population under several configurations.
+
+    Returns config-name -> result ("baseline" for None).
+    """
+    rng = np.random.default_rng(seed)
+    plans = plan_injections(rng, app.golden.instret, n)
+    out: dict[str, CampaignResult] = {}
+    for config in configs:
+        name = config.name if config is not None else "baseline"
+        out[name] = run_campaign(
+            app, n, seed, config, keep_results=keep_results, plans=plans
+        )
+    return out
+
+
+__all__ = ["CampaignResult", "run_campaign", "run_paired_campaigns"]

@@ -1,0 +1,176 @@
+"""Single-fault injection runs (paper section 5.4, phase 2).
+
+A run advances a fresh process to the planned dynamic instruction, flips
+the planned bit in the register that instruction produced, and then either
+lets the default OS behaviour apply (baseline: any trap kills the process)
+or hands supervision to LetGo.  The resulting :class:`InjectionResult`
+carries the Figure-4 leaf plus enough detail for per-site analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.apps.base import MiniApp
+from repro.core.config import LetGoConfig
+from repro.core.session import COMPLETED, HUNG, LetGoSession
+from repro.errors import InjectionError
+from repro.faultinject.fault_model import InjectionPlan, flip_bit, select_target
+from repro.faultinject.outcomes import Outcome, classify_finished
+from repro.machine.debugger import (
+    STOP_EXITED,
+    STOP_STEPS_DONE,
+    STOP_TRAP,
+    DebugSession,
+)
+from repro.machine.signals import Signal
+
+
+@dataclass
+class InjectionResult:
+    """One fault-injection run, fully described."""
+
+    outcome: Outcome
+    plan: InjectionPlan
+    target_pc: int | None = None        # static site of the corrupted instr
+    target_reg: tuple[str, int] | None = None
+    first_signal: Signal | None = None  # first crash signal, if any
+    interventions: int = 0              # LetGo repairs performed
+    steps: int = 0                      # total retired instructions
+
+
+def _advance_and_flip(
+    session: DebugSession, plan: InjectionPlan
+) -> tuple[int, tuple[str, int]] | None:
+    """Run to the injection point and apply the flip.
+
+    Returns (target_pc, target_reg), or None if the program halted before
+    an eligible instruction appeared.  The pre-injection path is the golden
+    path, so traps are impossible here by construction.
+    """
+    cpu = session.process.cpu
+    if plan.dyn_index > 1:
+        event = session.run_steps(plan.dyn_index - 1)
+        if event.kind == STOP_EXITED:
+            return None
+        if event.kind != STOP_STEPS_DONE:
+            raise InjectionError(
+                f"unexpected stop {event.kind!r} on the golden prefix"
+            )
+    instrs = session.process.program.instrs
+    while True:
+        pc = cpu.pc
+        instr = instrs[pc]
+        event = session.run_steps(1)
+        if event.kind == STOP_TRAP:  # pragma: no cover - golden path
+            raise InjectionError(f"golden prefix trapped: {event.trap}")
+        target = select_target(instr, plan.reg_choice)
+        if target is not None:
+            for bit in plan.bits:
+                flip_bit(cpu, target[0], target[1], bit)
+            return pc, target
+        if event.kind == STOP_EXITED:
+            return None
+
+
+def run_injection(
+    app: MiniApp,
+    plan: InjectionPlan,
+    config: LetGoConfig | None = None,
+) -> InjectionResult:
+    """Execute one injection run; ``config=None`` is the no-LetGo baseline."""
+    process = app.load()
+    session = DebugSession(process)
+    placed = _advance_and_flip(session, plan)
+    if placed is None:
+        return InjectionResult(
+            outcome=Outcome.NOT_INJECTED,
+            plan=plan,
+            steps=process.cpu.instret,
+        )
+    target_pc, target_reg = placed
+    budget = max(app.max_steps - process.cpu.instret, 1)
+
+    if config is None:
+        return _finish_baseline(app, session, plan, target_pc, target_reg, budget)
+    return _finish_letgo(app, session, plan, target_pc, target_reg, budget, config)
+
+
+def _finish_baseline(
+    app: MiniApp,
+    session: DebugSession,
+    plan: InjectionPlan,
+    target_pc: int,
+    target_reg: tuple[str, int],
+    budget: int,
+) -> InjectionResult:
+    process = session.process
+    event = session.cont(budget)
+    if event.kind == STOP_TRAP:
+        assert event.trap is not None
+        session.deliver_default(event.trap)
+        outcome: Outcome = Outcome.CRASH
+        signal: Signal | None = event.trap.signal
+    elif event.kind == STOP_EXITED:
+        output = list(process.output)
+        outcome = classify_finished(
+            passed_check=app.acceptance_check(output),
+            matches_golden=app.matches_golden(output),
+            continued=False,
+        )
+        signal = None
+    else:
+        outcome = Outcome.HANG
+        signal = None
+    return InjectionResult(
+        outcome=outcome,
+        plan=plan,
+        target_pc=target_pc,
+        target_reg=target_reg,
+        first_signal=signal,
+        steps=process.cpu.instret,
+    )
+
+
+def _finish_letgo(
+    app: MiniApp,
+    session: DebugSession,
+    plan: InjectionPlan,
+    target_pc: int,
+    target_reg: tuple[str, int],
+    budget: int,
+    config: LetGoConfig,
+) -> InjectionResult:
+    process = session.process
+    report = LetGoSession(config, app.functions).run(process, budget)
+    if report.status == COMPLETED:
+        output = list(process.output)
+        outcome = classify_finished(
+            passed_check=app.acceptance_check(output),
+            matches_golden=app.matches_golden(output),
+            continued=report.intervened,
+        )
+    elif report.status == HUNG:
+        outcome = Outcome.C_HANG if report.intervened else Outcome.HANG
+    elif report.intervened:
+        outcome = Outcome.DOUBLE_CRASH
+    else:
+        # first signal was outside LetGo's table (e.g. SIGFPE)
+        outcome = Outcome.CRASH_UNHANDLED
+    first_signal = (
+        report.interventions[0].signal
+        if report.intervened
+        else report.final_signal
+    )
+    return InjectionResult(
+        outcome=outcome,
+        plan=plan,
+        target_pc=target_pc,
+        target_reg=target_reg,
+        first_signal=first_signal,
+        interventions=len(report.interventions),
+        steps=process.cpu.instret,
+    )
+
+
+__all__ = ["InjectionResult", "run_injection"]

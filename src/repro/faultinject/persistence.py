@@ -1,0 +1,144 @@
+"""Campaign persistence: JSON round trips for results and plans.
+
+Large campaigns are the expensive artifact of this package; saving them
+lets reports (Table 3, Figure 5, fault-site analysis) be regenerated and
+extended without re-running injections, and makes results shareable.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.faultinject.campaign import CampaignResult
+from repro.faultinject.fault_model import InjectionPlan
+from repro.faultinject.injector import InjectionResult
+from repro.faultinject.outcomes import Outcome
+from repro.machine.signals import Signal
+
+#: Format version written into every file.
+FORMAT_VERSION = 1
+
+
+def _plan_to_dict(plan: InjectionPlan) -> dict:
+    return {
+        "dyn_index": plan.dyn_index,
+        "bit": plan.bit,
+        "reg_choice": plan.reg_choice,
+        "extra_bits": list(plan.extra_bits),
+    }
+
+
+def _plan_from_dict(data: dict) -> InjectionPlan:
+    return InjectionPlan(
+        dyn_index=data["dyn_index"],
+        bit=data["bit"],
+        reg_choice=data["reg_choice"],
+        extra_bits=tuple(data.get("extra_bits", ())),
+    )
+
+
+def _result_to_dict(result: InjectionResult) -> dict:
+    return {
+        "outcome": result.outcome.value,
+        "plan": _plan_to_dict(result.plan),
+        "target_pc": result.target_pc,
+        "target_reg": list(result.target_reg) if result.target_reg else None,
+        "first_signal": result.first_signal.name if result.first_signal else None,
+        "interventions": result.interventions,
+        "steps": result.steps,
+    }
+
+
+def _result_from_dict(data: dict) -> InjectionResult:
+    target = data.get("target_reg")
+    signal = data.get("first_signal")
+    return InjectionResult(
+        outcome=Outcome(data["outcome"]),
+        plan=_plan_from_dict(data["plan"]),
+        target_pc=data.get("target_pc"),
+        target_reg=(target[0], target[1]) if target else None,
+        first_signal=Signal[signal] if signal else None,
+        interventions=data.get("interventions", 0),
+        steps=data.get("steps", 0),
+    )
+
+
+def campaign_to_json(campaign: CampaignResult) -> str:
+    """Serialize a campaign (including per-run records if kept)."""
+    payload = {
+        "format": FORMAT_VERSION,
+        "app_name": campaign.app_name,
+        "config_name": campaign.config_name,
+        "n": campaign.n,
+        "counts": {o.value: c for o, c in campaign.counts.items()},
+        "results": [_result_to_dict(r) for r in campaign.results],
+    }
+    return json.dumps(payload, indent=1)
+
+
+def campaign_from_json(text: str) -> CampaignResult:
+    """Inverse of :func:`campaign_to_json`."""
+    payload = json.loads(text)
+    if payload.get("format") != FORMAT_VERSION:
+        raise ValueError(f"unsupported campaign format {payload.get('format')!r}")
+    return CampaignResult(
+        app_name=payload["app_name"],
+        config_name=payload["config_name"],
+        n=payload["n"],
+        counts={Outcome(k): v for k, v in payload["counts"].items()},
+        results=[_result_from_dict(r) for r in payload.get("results", [])],
+    )
+
+
+def save_campaign(campaign: CampaignResult, path: str | Path) -> Path:
+    """Write a campaign to *path*."""
+    path = Path(path)
+    path.write_text(campaign_to_json(campaign))
+    return path
+
+
+def load_campaign(path: str | Path) -> CampaignResult:
+    """Read a campaign from *path*."""
+    return campaign_from_json(Path(path).read_text())
+
+
+def merge_campaigns(*campaigns: CampaignResult) -> CampaignResult:
+    """Pool several campaigns of the same (app, config) into one.
+
+    Useful for growing a campaign incrementally across sessions (run with
+    different seeds, merge, report tighter error bars).
+    """
+    if not campaigns:
+        raise ValueError("nothing to merge")
+    first = campaigns[0]
+    for other in campaigns[1:]:
+        if (other.app_name, other.config_name) != (first.app_name, first.config_name):
+            raise ValueError(
+                "cannot merge campaigns of different apps or configs"
+            )
+    counts: dict[Outcome, int] = {}
+    results = []
+    total = 0
+    for campaign in campaigns:
+        total += campaign.n
+        results.extend(campaign.results)
+        for outcome, count in campaign.counts.items():
+            counts[outcome] = counts.get(outcome, 0) + count
+    return CampaignResult(
+        app_name=first.app_name,
+        config_name=first.config_name,
+        n=total,
+        counts=counts,
+        results=results,
+    )
+
+
+__all__ = [
+    "campaign_to_json",
+    "campaign_from_json",
+    "save_campaign",
+    "load_campaign",
+    "merge_campaigns",
+    "FORMAT_VERSION",
+]

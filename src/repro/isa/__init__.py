@@ -1,0 +1,84 @@
+"""The repro instruction-set architecture.
+
+A compact 64-bit register ISA with x86-style stack discipline (``sp``/``bp``,
+``push``/``pop``/``call``/``ret``), IEEE-754 doubles, an assembler, a
+disassembler and a fixed-width binary encoding.  This is the substrate that
+replaces x86-64 in the LetGo reproduction.
+"""
+
+from repro.isa.assembler import Assembler, assemble
+from repro.isa.disassembler import disassemble, dump
+from repro.isa.encoding import (
+    decode_instr,
+    decode_program,
+    encode_instr,
+    encode_program,
+)
+from repro.isa.instructions import (
+    BRANCH_OPS,
+    LOAD_OPS,
+    MEMORY_OPS,
+    STORE_OPS,
+    Instr,
+    Op,
+)
+from repro.isa.layout import (
+    CELL,
+    DATA_BASE,
+    INT64_MAX,
+    INT64_MIN,
+    MASK64,
+    STACK_LIMIT,
+    STACK_SIZE,
+    STACK_TOP,
+)
+from repro.isa.program import DataSymbol, Program
+from repro.isa.registers import (
+    BP,
+    FP_REG_NAMES,
+    INT_REG_NAMES,
+    NUM_FP_REGS,
+    NUM_INT_REGS,
+    SP,
+    fp_reg_index,
+    fp_reg_name,
+    int_reg_index,
+    int_reg_name,
+)
+
+__all__ = [
+    "Assembler",
+    "assemble",
+    "disassemble",
+    "dump",
+    "encode_instr",
+    "decode_instr",
+    "encode_program",
+    "decode_program",
+    "Instr",
+    "Op",
+    "BRANCH_OPS",
+    "LOAD_OPS",
+    "STORE_OPS",
+    "MEMORY_OPS",
+    "Program",
+    "DataSymbol",
+    "BP",
+    "SP",
+    "NUM_INT_REGS",
+    "NUM_FP_REGS",
+    "INT_REG_NAMES",
+    "FP_REG_NAMES",
+    "int_reg_index",
+    "int_reg_name",
+    "fp_reg_index",
+    "fp_reg_name",
+    "CELL",
+    "DATA_BASE",
+    "STACK_TOP",
+    "STACK_SIZE",
+    "STACK_LIMIT",
+    "MASK64",
+    "INT64_MIN",
+    "INT64_MAX",
+]

@@ -1,0 +1,435 @@
+"""Two-pass assembler: text assembly -> :class:`~repro.isa.program.Program`.
+
+Syntax overview (see tests for a working example)::
+
+    ; comment
+    .data
+    grid:   .space 64           ; 64 zero cells
+    n:      .word 8             ; one int cell
+    pi:     .double 3.14159     ; one float cell
+    .text
+    .entry _start
+    .func _start
+    _start:
+        call main
+        halt
+    .func main
+    main:
+        push bp
+        mov bp, sp
+        subi sp, sp, #16
+        movi r1, @grid          ; address of a data symbol
+        fld f1, [r1 + 8]
+        beqz r2, done
+    done:
+        addi sp, sp, #16
+        pop bp
+        ret
+
+Labels defined under ``.func NAME`` belong to that function; branch targets
+may be any label.  Immediates are written ``#value`` (int, hex int, or
+float) or ``@symbol`` (address of a data symbol).
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import AssemblerError
+from repro.isa.instructions import FLOAT_IMM_OPS, BRANCH_OPS, Instr, Op
+from repro.isa.layout import CELL, DATA_BASE, MASK64
+from repro.isa.program import DataSymbol, Program
+from repro.isa.registers import fp_reg_index, int_reg_index, is_fp_reg, is_int_reg
+
+_LABEL_RE = re.compile(r"^([A-Za-z_.$][\w.$]*):(.*)$")
+_MEM_RE = re.compile(
+    r"^\[\s*([A-Za-z_]\w*)\s*"           # base register
+    r"(?:\+\s*([A-Za-z_]\w*)\s*\*\s*8\s*)?"  # optional "+ idx*8"
+    r"(?:([+-])\s*(\d+|0x[0-9A-Fa-f]+)\s*)?"  # optional offset
+    r"\]$"
+)
+
+#: Mnemonics taking "rd, ra, rb" integer form.
+_RRR = {
+    "add": Op.ADD, "sub": Op.SUB, "mul": Op.MUL, "div": Op.DIV,
+    "mod": Op.MOD, "and": Op.AND, "or": Op.OR, "xor": Op.XOR,
+    "shl": Op.SHL, "shr": Op.SHR,
+    "seq": Op.SEQ, "sne": Op.SNE, "slt": Op.SLT, "sle": Op.SLE,
+}
+#: Mnemonics taking "rd, ra, #imm" form.
+_RRI = {
+    "addi": Op.ADDI, "subi": Op.SUBI, "muli": Op.MULI, "andi": Op.ANDI,
+    "ori": Op.ORI, "xori": Op.XORI, "shli": Op.SHLI, "shri": Op.SHRI,
+}
+#: Mnemonics taking "fd, fa, fb" float form.
+_FFF = {
+    "fadd": Op.FADD, "fsub": Op.FSUB, "fmul": Op.FMUL, "fdiv": Op.FDIV,
+    "fmin": Op.FMIN, "fmax": Op.FMAX,
+}
+#: Float compares: "rd, fa, fb".
+_RFF = {"feq": Op.FEQ, "fne": Op.FNE, "flt": Op.FLT, "fle": Op.FLE}
+#: Unary: int "rd, ra" / float "fd, fa".
+_RR = {"neg": Op.NEG, "not": Op.NOT}
+_FF = {"fneg": Op.FNEG, "fsqrt": Op.FSQRT, "fabs": Op.FABS}
+
+
+def _parse_int(text: str, line: int) -> int:
+    try:
+        return int(text, 0)
+    except ValueError:
+        raise AssemblerError(f"bad integer literal {text!r}", line) from None
+
+
+def _float_pattern(value: float) -> int:
+    import struct
+
+    return struct.unpack("<Q", struct.pack("<d", value))[0]
+
+
+class Assembler:
+    """Stateful two-pass assembler.  Use :func:`assemble` for one-shots."""
+
+    def __init__(self) -> None:
+        self._instrs: list[tuple[Instr, int]] = []  # (instr, source line)
+        self._labels: dict[str, int] = {}
+        self._functions: dict[str, int] = {}
+        self._pending_funcs: list[str] = []
+        self._data_symbols: dict[str, DataSymbol] = {}
+        self._data_init: dict[int, int] = {}
+        self._data_cursor = DATA_BASE
+        self._entry = "_start"
+        self._section = ".text"
+
+    # -- public API --------------------------------------------------------
+
+    def assemble(self, source: str, source_name: str = "") -> Program:
+        """Assemble *source*, returning a linked :class:`Program`."""
+        for lineno, raw in enumerate(source.splitlines(), start=1):
+            self._line(raw, lineno)
+        instrs = self._resolve()
+        if self._entry not in self._functions and "main" in self._functions:
+            self._entry = "main"
+        return Program(
+            instrs=instrs,
+            functions=dict(self._functions),
+            data_symbols=dict(self._data_symbols),
+            data_init=dict(self._data_init),
+            entry=self._entry,
+            source_name=source_name,
+        )
+
+    # -- first pass ----------------------------------------------------------
+
+    def _line(self, raw: str, lineno: int) -> None:
+        text = raw.split(";", 1)[0].strip()
+        if not text:
+            return
+        m = _LABEL_RE.match(text)
+        if m:
+            label, rest = m.group(1), m.group(2).strip()
+            self._define_label(label, lineno)
+            if rest:
+                self._line(rest, lineno)
+            return
+        if text.startswith("."):
+            self._directive(text, lineno)
+            return
+        if self._section != ".text":
+            raise AssemblerError(f"instruction outside .text: {text!r}", lineno)
+        self._instruction(text, lineno)
+
+    def _define_label(self, label: str, lineno: int) -> None:
+        if self._section == ".text":
+            if label in self._labels:
+                raise AssemblerError(f"duplicate label {label!r}", lineno)
+            self._labels[label] = len(self._instrs)
+            if self._pending_funcs:
+                for name in self._pending_funcs:
+                    if name != label:
+                        raise AssemblerError(
+                            f".func {name} not followed by its label", lineno
+                        )
+                    self._functions[name] = len(self._instrs)
+                self._pending_funcs.clear()
+        else:
+            # data label: applies to the next data directive
+            if label in self._data_symbols:
+                raise AssemblerError(f"duplicate data symbol {label!r}", lineno)
+            self._pending_data_label = (label, lineno)
+
+    def _directive(self, text: str, lineno: int) -> None:
+        parts = text.split(None, 1)
+        name = parts[0]
+        arg = parts[1].strip() if len(parts) > 1 else ""
+        if name in (".data", ".text"):
+            self._section = name
+        elif name == ".entry":
+            self._entry = arg
+        elif name == ".func":
+            if not arg:
+                raise AssemblerError(".func needs a name", lineno)
+            self._pending_funcs.append(arg)
+        elif name == ".space":
+            self._data_directive(lineno, cells=_parse_int(arg, lineno))
+        elif name == ".word":
+            values = [_parse_int(v.strip(), lineno) for v in arg.split(",")]
+            self._data_directive(lineno, values=[v & MASK64 for v in values])
+        elif name == ".double":
+            try:
+                values = [float(v.strip()) for v in arg.split(",")]
+            except ValueError:
+                raise AssemblerError(f"bad float list {arg!r}", lineno) from None
+            self._data_directive(
+                lineno, values=[_float_pattern(v) for v in values]
+            )
+        else:
+            raise AssemblerError(f"unknown directive {name!r}", lineno)
+
+    def _data_directive(
+        self,
+        lineno: int,
+        cells: int | None = None,
+        values: list[int] | None = None,
+    ) -> None:
+        if self._section != ".data":
+            raise AssemblerError("data directive outside .data", lineno)
+        label = getattr(self, "_pending_data_label", None)
+        if label is None:
+            raise AssemblerError("data directive without a label", lineno)
+        name, _ = label
+        del self._pending_data_label
+        n = cells if cells is not None else len(values or [])
+        if n <= 0:
+            raise AssemblerError("data region must have positive size", lineno)
+        addr = self._data_cursor
+        self._data_symbols[name] = DataSymbol(name=name, addr=addr, cells=n)
+        if values:
+            for i, pattern in enumerate(values):
+                if pattern:
+                    self._data_init[addr + i * CELL] = pattern
+        self._data_cursor = addr + n * CELL
+
+    # -- instruction parsing ---------------------------------------------
+
+    def _instruction(self, text: str, lineno: int) -> None:
+        parts = text.split(None, 1)
+        mn = parts[0].lower()
+        ops = [o.strip() for o in parts[1].split(",")] if len(parts) > 1 else []
+        ins = self._build(mn, ops, lineno)
+        self._instrs.append((ins, lineno))
+
+    def _reg(self, tok: str, lineno: int) -> int:
+        if not is_int_reg(tok):
+            raise AssemblerError(f"expected integer register, got {tok!r}", lineno)
+        return int_reg_index(tok)
+
+    def _freg(self, tok: str, lineno: int) -> int:
+        if not is_fp_reg(tok):
+            raise AssemblerError(f"expected fp register, got {tok!r}", lineno)
+        return fp_reg_index(tok)
+
+    def _imm(self, tok: str, lineno: int, want_float: bool = False):
+        if tok.startswith("@"):
+            return ("@", tok[1:])  # resolved in pass 2
+        if not tok.startswith("#"):
+            raise AssemblerError(f"expected immediate, got {tok!r}", lineno)
+        body = tok[1:]
+        if want_float:
+            try:
+                return float(body)
+            except ValueError:
+                raise AssemblerError(f"bad float {body!r}", lineno) from None
+        try:
+            return int(body, 0)
+        except ValueError:
+            raise AssemblerError(f"bad integer {body!r}", lineno) from None
+
+    def _mem(self, tok: str, lineno: int) -> tuple[int, int | None, int]:
+        """Parse a memory operand -> (base, index-or-None, offset)."""
+        m = _MEM_RE.match(tok.replace(" ", " "))
+        if not m:
+            raise AssemblerError(f"bad memory operand {tok!r}", lineno)
+        base = self._reg(m.group(1), lineno)
+        idx = self._reg(m.group(2), lineno) if m.group(2) else None
+        off = 0
+        if m.group(4):
+            off = _parse_int(m.group(4), lineno)
+            if m.group(3) == "-":
+                off = -off
+        return base, idx, off
+
+    def _build(self, mn: str, ops: list[str], lineno: int) -> Instr:
+        def need(n: int) -> None:
+            if len(ops) != n:
+                raise AssemblerError(
+                    f"{mn} expects {n} operand(s), got {len(ops)}", lineno
+                )
+
+        if mn in ("nop", "ret", "halt", "abort"):
+            need(0)
+            return Instr(Op[mn.upper()])
+        if mn == "mov":
+            need(2)
+            return Instr(Op.MOV, rd=self._reg(ops[0], lineno), ra=self._reg(ops[1], lineno))
+        if mn == "movi":
+            need(2)
+            imm = self._imm(ops[1], lineno)
+            if isinstance(imm, tuple):
+                return Instr(Op.MOVI, rd=self._reg(ops[0], lineno), imm=0, sym=imm[1])
+            return Instr(Op.MOVI, rd=self._reg(ops[0], lineno), imm=imm)
+        if mn == "fmov":
+            need(2)
+            return Instr(Op.FMOV, rd=self._freg(ops[0], lineno), ra=self._freg(ops[1], lineno))
+        if mn == "fmovi":
+            need(2)
+            return Instr(
+                Op.FMOVI,
+                rd=self._freg(ops[0], lineno),
+                imm=self._imm(ops[1], lineno, want_float=True),
+            )
+        if mn in ("ld", "fld"):
+            need(2)
+            base, idx, off = self._mem(ops[1], lineno)
+            rd = self._reg(ops[0], lineno) if mn == "ld" else self._freg(ops[0], lineno)
+            if idx is None:
+                return Instr(Op[mn.upper()], rd=rd, ra=base, imm=off)
+            return Instr(Op.LDX if mn == "ld" else Op.FLDX, rd=rd, ra=base, rb=idx, imm=off)
+        if mn in ("st", "fst"):
+            need(2)
+            base, idx, off = self._mem(ops[0], lineno)
+            src = self._reg(ops[1], lineno) if mn == "st" else self._freg(ops[1], lineno)
+            if idx is None:
+                return Instr(Op[mn.upper()], rd=src, ra=base, imm=off)
+            return Instr(Op.STX if mn == "st" else Op.FSTX, rd=src, ra=base, rb=idx, imm=off)
+        if mn in ("ldx", "fldx"):
+            need(2)
+            base, idx, off = self._mem(ops[1], lineno)
+            if idx is None:
+                raise AssemblerError(f"{mn} needs an index register", lineno)
+            rd = self._reg(ops[0], lineno) if mn == "ldx" else self._freg(ops[0], lineno)
+            return Instr(Op[mn.upper()], rd=rd, ra=base, rb=idx, imm=off)
+        if mn in ("stx", "fstx"):
+            need(2)
+            base, idx, off = self._mem(ops[0], lineno)
+            if idx is None:
+                raise AssemblerError(f"{mn} needs an index register", lineno)
+            src = self._reg(ops[1], lineno) if mn == "stx" else self._freg(ops[1], lineno)
+            return Instr(Op[mn.upper()], rd=src, ra=base, rb=idx, imm=off)
+        if mn == "push":
+            need(1)
+            return Instr(Op.PUSH, ra=self._reg(ops[0], lineno))
+        if mn == "pop":
+            need(1)
+            return Instr(Op.POP, rd=self._reg(ops[0], lineno))
+        if mn == "fpush":
+            need(1)
+            return Instr(Op.FPUSH, ra=self._freg(ops[0], lineno))
+        if mn == "fpop":
+            need(1)
+            return Instr(Op.FPOP, rd=self._freg(ops[0], lineno))
+        if mn in _RRR:
+            need(3)
+            return Instr(
+                _RRR[mn],
+                rd=self._reg(ops[0], lineno),
+                ra=self._reg(ops[1], lineno),
+                rb=self._reg(ops[2], lineno),
+            )
+        if mn in _RRI:
+            need(3)
+            imm = self._imm(ops[2], lineno)
+            if isinstance(imm, tuple):
+                raise AssemblerError("@symbol not allowed here", lineno)
+            return Instr(
+                _RRI[mn],
+                rd=self._reg(ops[0], lineno),
+                ra=self._reg(ops[1], lineno),
+                imm=imm,
+            )
+        if mn in _FFF:
+            need(3)
+            return Instr(
+                _FFF[mn],
+                rd=self._freg(ops[0], lineno),
+                ra=self._freg(ops[1], lineno),
+                rb=self._freg(ops[2], lineno),
+            )
+        if mn in _RFF:
+            need(3)
+            return Instr(
+                _RFF[mn],
+                rd=self._reg(ops[0], lineno),
+                ra=self._freg(ops[1], lineno),
+                rb=self._freg(ops[2], lineno),
+            )
+        if mn in _RR:
+            need(2)
+            return Instr(_RR[mn], rd=self._reg(ops[0], lineno), ra=self._reg(ops[1], lineno))
+        if mn in _FF:
+            need(2)
+            return Instr(_FF[mn], rd=self._freg(ops[0], lineno), ra=self._freg(ops[1], lineno))
+        if mn == "itof":
+            need(2)
+            return Instr(Op.ITOF, rd=self._freg(ops[0], lineno), ra=self._reg(ops[1], lineno))
+        if mn == "ftoi":
+            need(2)
+            return Instr(Op.FTOI, rd=self._reg(ops[0], lineno), ra=self._freg(ops[1], lineno))
+        if mn in ("jmp", "call"):
+            need(1)
+            return Instr(Op[mn.upper()], imm=-1, sym=ops[0])
+        if mn in ("beqz", "bnez"):
+            need(2)
+            return Instr(Op[mn.upper()], ra=self._reg(ops[0], lineno), imm=-1, sym=ops[1])
+        if mn == "out":
+            need(1)
+            return Instr(Op.OUT, ra=self._reg(ops[0], lineno))
+        if mn == "fout":
+            need(1)
+            return Instr(Op.FOUT, ra=self._freg(ops[0], lineno))
+        if mn in ("rank", "nranks"):
+            need(1)
+            return Instr(Op[mn.upper()], rd=self._reg(ops[0], lineno))
+        if mn == "send":
+            need(2)
+            return Instr(Op.SEND, ra=self._reg(ops[0], lineno), rb=self._reg(ops[1], lineno))
+        if mn == "fsend":
+            need(2)
+            return Instr(Op.FSEND, ra=self._reg(ops[0], lineno), rb=self._freg(ops[1], lineno))
+        if mn == "recv":
+            need(2)
+            return Instr(Op.RECV, rd=self._reg(ops[0], lineno), ra=self._reg(ops[1], lineno))
+        if mn == "frecv":
+            need(2)
+            return Instr(Op.FRECV, rd=self._freg(ops[0], lineno), ra=self._reg(ops[1], lineno))
+        raise AssemblerError(f"unknown mnemonic {mn!r}", lineno)
+
+    # -- second pass: resolve symbols -----------------------------------
+
+    def _resolve(self) -> list[Instr]:
+        out: list[Instr] = []
+        for ins, lineno in self._instrs:
+            if ins.op in BRANCH_OPS and ins.sym is not None:
+                target = self._labels.get(ins.sym)
+                if target is None:
+                    raise AssemblerError(f"undefined label {ins.sym!r}", lineno)
+                out.append(
+                    Instr(ins.op, rd=ins.rd, ra=ins.ra, rb=ins.rb, imm=target, sym=ins.sym)
+                )
+            elif ins.op is Op.MOVI and ins.sym is not None:
+                symbol = self._data_symbols.get(ins.sym)
+                if symbol is None:
+                    raise AssemblerError(f"undefined data symbol {ins.sym!r}", lineno)
+                out.append(
+                    Instr(Op.MOVI, rd=ins.rd, imm=symbol.addr, sym=ins.sym)
+                )
+            else:
+                out.append(ins)
+        return out
+
+
+def assemble(source: str, source_name: str = "") -> Program:
+    """Assemble *source* text into a :class:`Program`."""
+    return Assembler().assemble(source, source_name)
+
+
+__all__ = ["Assembler", "assemble", "FLOAT_IMM_OPS"]

@@ -1,0 +1,86 @@
+"""Disassembler: :class:`Program` -> assembly text.
+
+Output from :func:`disassemble` re-assembles to an equivalent program
+(label names are regenerated from the symbol table where available);
+:func:`dump` produces a human-oriented listing with PCs and function
+headers, the equivalent of ``objdump -d`` used when no source is around.
+"""
+
+from __future__ import annotations
+
+from repro.isa.instructions import BRANCH_OPS, Instr, Op
+from repro.isa.program import Program
+
+
+def _branch_labels(program: Program) -> dict[int, str]:
+    """Assign a label name to every PC that is a branch target or function."""
+    labels: dict[int, str] = {}
+    for name, pc in program.functions.items():
+        labels[pc] = name
+    counter = 0
+    for ins in program.instrs:
+        if ins.op in BRANCH_OPS:
+            target = int(ins.imm)
+            if target not in labels:
+                labels[target] = f".L{counter}"
+                counter += 1
+    return labels
+
+
+def _instr_text(ins: Instr, labels: dict[int, str]) -> str:
+    if ins.op in BRANCH_OPS:
+        name = labels.get(int(ins.imm), str(ins.imm))
+        ins = Instr(ins.op, rd=ins.rd, ra=ins.ra, rb=ins.rb, imm=ins.imm, sym=name)
+    text = ins.text()
+    # Strip the "<sym>" annotations Instr.text adds; the assembler syntax
+    # for address immediates is "@sym" which we re-introduce for MOVI.
+    if ins.op is Op.MOVI and ins.sym is not None:
+        return f"movi {text.split()[1]} @{ins.sym}"
+    return text.split(" <", 1)[0]
+
+
+def disassemble(program: Program) -> str:
+    """Round-trippable assembly text for *program*."""
+    labels = _branch_labels(program)
+    func_starts = {pc: name for name, pc in program.functions.items()}
+    lines: list[str] = []
+    if program.data_symbols:
+        lines.append(".data")
+        for sym in sorted(program.data_symbols.values(), key=lambda s: s.addr):
+            inits = [
+                program.data_init.get(sym.addr + i * 8, 0) for i in range(sym.cells)
+            ]
+            if any(inits):
+                body = ", ".join(str(v) for v in inits)
+                lines.append(f"{sym.name}: .word {body}")
+            else:
+                lines.append(f"{sym.name}: .space {sym.cells}")
+    lines.append(".text")
+    lines.append(f".entry {program.entry}")
+    for pc, ins in enumerate(program.instrs):
+        if pc in func_starts:
+            lines.append(f".func {func_starts[pc]}")
+        if pc in labels:
+            lines.append(f"{labels[pc]}:")
+        lines.append(f"    {_instr_text(ins, labels)}")
+    return "\n".join(lines) + "\n"
+
+
+def dump(program: Program) -> str:
+    """Human-oriented listing with PCs (objdump-style)."""
+    labels = _branch_labels(program)
+    func_starts = {pc: name for name, pc in program.functions.items()}
+    lines = [f"; image {program.source_name or '<anonymous>'}"]
+    lines.append(f"; {len(program.instrs)} instructions, entry {program.entry}")
+    for sym in sorted(program.data_symbols.values(), key=lambda s: s.addr):
+        lines.append(f"; data {sym.name} @ 0x{sym.addr:x} ({sym.cells} cells)")
+    for pc, ins in enumerate(program.instrs):
+        if pc in func_starts:
+            lines.append(f"\n{func_starts[pc]}:")
+        elif pc in labels:
+            lines.append(f"{labels[pc]}:")
+        lines.append(f"  {pc:6d}: {_instr_text(ins, labels)}")
+    return "\n".join(lines) + "\n"
+
+
+__all__ = ["disassemble", "dump"]

@@ -1,0 +1,39 @@
+"""Address-space layout constants shared by the assembler and the machine.
+
+The layout mirrors a conventional (simplified) Unix process image:
+
+* page zero is never mapped, so null-pointer-like dereferences raise
+  SIGSEGV exactly as on Linux;
+* a data segment holds globals, starting at :data:`DATA_BASE`;
+* the stack occupies ``[STACK_TOP - STACK_SIZE, STACK_TOP)`` and grows
+  downward; running past its guard raises SIGSEGV.
+
+All data cells are :data:`CELL` = 8 bytes and accesses must be 8-aligned
+(misalignment raises SIGBUS).
+"""
+
+from __future__ import annotations
+
+#: Size of every memory cell / register, in bytes.
+CELL = 8
+
+#: First address of the data segment (globals).
+DATA_BASE = 0x1_0000
+
+#: One-past-the-highest stack address; initial ``sp``.
+STACK_TOP = 0x10_0000
+
+#: Stack reservation in bytes.
+STACK_SIZE = 0x1_0000
+
+#: Lowest mapped stack address.
+STACK_LIMIT = STACK_TOP - STACK_SIZE
+
+#: Mask for 64-bit register/memory patterns.
+MASK64 = (1 << 64) - 1
+
+#: Smallest signed 64-bit integer (FTOI overflow sentinel, like x86).
+INT64_MIN = -(1 << 63)
+
+#: Largest signed 64-bit integer.
+INT64_MAX = (1 << 63) - 1

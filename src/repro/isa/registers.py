@@ -1,0 +1,70 @@
+"""Register file definition for the repro ISA.
+
+The ISA models an x86-64-like register architecture at the level of detail
+LetGo cares about: 16 64-bit integer registers including a stack pointer
+``sp`` and a base (frame) pointer ``bp``, and 16 IEEE-754 double-precision
+floating point registers.  LetGo's Heuristic II reasons specifically about
+``sp``/``bp`` (the paper's ``rsp``/``rbp``), so those two have architectural
+roles: ``push``/``pop``/``call``/``ret`` use ``sp`` implicitly and compiled
+functions address locals through ``bp``.
+"""
+
+from __future__ import annotations
+
+NUM_INT_REGS = 16
+NUM_FP_REGS = 16
+
+#: Architectural index of the frame (base) pointer, mirrors x86-64 ``rbp``.
+BP = 14
+#: Architectural index of the stack pointer, mirrors x86-64 ``rsp``.
+SP = 15
+
+#: Canonical integer-register names, index -> name.
+INT_REG_NAMES: tuple[str, ...] = tuple(
+    [f"r{i}" for i in range(NUM_INT_REGS - 2)] + ["bp", "sp"]
+)
+#: Canonical fp-register names, index -> name.
+FP_REG_NAMES: tuple[str, ...] = tuple(f"f{i}" for i in range(NUM_FP_REGS))
+
+_INT_NAME_TO_INDEX = {name: i for i, name in enumerate(INT_REG_NAMES)}
+# Aliases accepted by the assembler (x86-ish spellings).
+_INT_NAME_TO_INDEX["r14"] = BP
+_INT_NAME_TO_INDEX["r15"] = SP
+_FP_NAME_TO_INDEX = {name: i for i, name in enumerate(FP_REG_NAMES)}
+
+#: Banks, used wherever a register must be identified bank-and-index.
+INT_BANK = "r"
+FP_BANK = "f"
+
+
+def int_reg_index(name: str) -> int:
+    """Resolve an integer register name (or alias) to its index.
+
+    Raises :class:`KeyError` for unknown names.
+    """
+    return _INT_NAME_TO_INDEX[name.lower()]
+
+
+def fp_reg_index(name: str) -> int:
+    """Resolve a floating-point register name to its index."""
+    return _FP_NAME_TO_INDEX[name.lower()]
+
+
+def is_int_reg(name: str) -> bool:
+    """True if *name* names an integer register (including aliases)."""
+    return name.lower() in _INT_NAME_TO_INDEX
+
+
+def is_fp_reg(name: str) -> bool:
+    """True if *name* names a floating-point register."""
+    return name.lower() in _FP_NAME_TO_INDEX
+
+
+def int_reg_name(index: int) -> str:
+    """Canonical name of integer register *index*."""
+    return INT_REG_NAMES[index]
+
+
+def fp_reg_name(index: int) -> str:
+    """Canonical name of fp register *index*."""
+    return FP_REG_NAMES[index]

@@ -1,0 +1,29 @@
+"""MiniC: the small compiled language the HPC mini-apps are written in.
+
+The compiler's reason to exist is fidelity: it emits the exact x86-style
+function prologue (``push bp; mov bp, sp; subi sp, sp, #N``) that LetGo's
+Heuristic II recovers frame sizes from, and routes all locals/arguments
+through ``bp``/``sp`` so stack-pointer corruption behaves like it does in
+the paper.
+"""
+
+from repro.lang.ast_nodes import Module, Type
+from repro.lang.compiler import CompiledUnit, compile_source, compile_unit
+from repro.lang.lexer import Tok, Token, tokenize
+from repro.lang.parser import parse
+from repro.lang.semantics import INTRINSICS, ModuleInfo, analyze
+
+__all__ = [
+    "Module",
+    "Type",
+    "CompiledUnit",
+    "compile_source",
+    "compile_unit",
+    "tokenize",
+    "Token",
+    "Tok",
+    "parse",
+    "analyze",
+    "ModuleInfo",
+    "INTRINSICS",
+]

@@ -1,0 +1,245 @@
+"""Abstract syntax for MiniC.
+
+All expression nodes carry a mutable ``ty`` slot the semantic pass fills
+in; the code generator relies on it and refuses untyped trees.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+
+class Type(Enum):
+    """MiniC value types: both are 64-bit (one machine cell)."""
+
+    INT = "int"
+    FLOAT = "float"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+# --------------------------------------------------------------------------
+# expressions
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class Expr:
+    """Base expression; ``ty`` is assigned by semantic analysis."""
+
+    line: int
+    ty: Type | None = field(default=None, init=False, compare=False)
+
+
+@dataclass
+class IntLit(Expr):
+    value: int = 0
+
+
+@dataclass
+class FloatLit(Expr):
+    value: float = 0.0
+
+
+@dataclass
+class Name(Expr):
+    """A scalar variable reference (local, param, or global scalar)."""
+
+    name: str = ""
+
+
+@dataclass
+class Index(Expr):
+    """Global-array element reference ``name[index]``."""
+
+    name: str = ""
+    index: Expr | None = None
+
+
+@dataclass
+class BinOp(Expr):
+    """Binary operation.  ``op`` is the source spelling (``+``, ``&&``...)."""
+
+    op: str = ""
+    left: Expr | None = None
+    right: Expr | None = None
+
+
+@dataclass
+class UnOp(Expr):
+    """Unary ``-`` or ``!``."""
+
+    op: str = ""
+    operand: Expr | None = None
+
+
+@dataclass
+class Call(Expr):
+    """User-function or intrinsic call."""
+
+    name: str = ""
+    args: list[Expr] = field(default_factory=list)
+
+
+# --------------------------------------------------------------------------
+# statements
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class Stmt:
+    line: int
+
+
+@dataclass
+class Block(Stmt):
+    stmts: list[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class VarDecl(Stmt):
+    name: str = ""
+    declared: Type = Type.INT
+    init: Expr | None = None
+
+
+@dataclass
+class Assign(Stmt):
+    """``target = value`` where target is a Name or Index."""
+
+    target: Expr | None = None
+    value: Expr | None = None
+
+
+@dataclass
+class If(Stmt):
+    cond: Expr | None = None
+    then: Block | None = None
+    orelse: Block | None = None
+
+
+@dataclass
+class While(Stmt):
+    cond: Expr | None = None
+    body: Block | None = None
+
+
+@dataclass
+class For(Stmt):
+    """C-style for; init/step are Assign statements (or None)."""
+
+    init: Assign | None = None
+    cond: Expr | None = None
+    step: Assign | None = None
+    body: Block | None = None
+
+
+@dataclass
+class Return(Stmt):
+    value: Expr | None = None
+
+
+@dataclass
+class ExprStmt(Stmt):
+    expr: Expr | None = None
+
+
+@dataclass
+class Out(Stmt):
+    """Emit a value to the process output stream (OUT/FOUT)."""
+
+    expr: Expr | None = None
+
+
+@dataclass
+class Abort(Stmt):
+    """Unconditional SIGABRT (models a failed application check)."""
+
+
+@dataclass
+class Assert(Stmt):
+    """``assert(cond);`` -- SIGABRT if cond is zero."""
+
+    cond: Expr | None = None
+
+
+@dataclass
+class Break(Stmt):
+    pass
+
+
+@dataclass
+class Continue(Stmt):
+    pass
+
+
+# --------------------------------------------------------------------------
+# declarations
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class Param:
+    name: str
+    declared: Type
+
+
+@dataclass
+class GlobalDecl:
+    """``global int n = 4;`` or ``global float grid[128];``"""
+
+    line: int
+    name: str = ""
+    declared: Type = Type.INT
+    size: int | None = None          # None -> scalar, else array cells
+    init: int | float | None = None  # scalars only
+
+
+@dataclass
+class FuncDecl:
+    line: int
+    name: str = ""
+    params: list[Param] = field(default_factory=list)
+    ret: Type = Type.INT
+    body: Block | None = None
+
+
+@dataclass
+class Module:
+    """A parsed MiniC translation unit."""
+
+    globals: list[GlobalDecl] = field(default_factory=list)
+    funcs: list[FuncDecl] = field(default_factory=list)
+
+
+__all__ = [
+    "Type",
+    "Expr",
+    "IntLit",
+    "FloatLit",
+    "Name",
+    "Index",
+    "BinOp",
+    "UnOp",
+    "Call",
+    "Stmt",
+    "Block",
+    "VarDecl",
+    "Assign",
+    "If",
+    "While",
+    "For",
+    "Return",
+    "ExprStmt",
+    "Out",
+    "Abort",
+    "Assert",
+    "Break",
+    "Continue",
+    "Param",
+    "GlobalDecl",
+    "FuncDecl",
+    "Module",
+]

@@ -1,0 +1,44 @@
+"""Compiler driver: MiniC source -> assembled :class:`Program`.
+
+The pipeline is lexer -> parser -> semantic analysis -> codegen ->
+assembler, with every intermediate exposed on :class:`CompiledUnit` for
+debugging and tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.isa.assembler import assemble
+from repro.isa.program import Program
+from repro.lang.ast_nodes import Module
+from repro.lang.codegen import generate
+from repro.lang.parser import parse
+from repro.lang.semantics import ModuleInfo, analyze
+
+
+@dataclass
+class CompiledUnit:
+    """Everything the compiler produced for one translation unit."""
+
+    program: Program
+    asm_text: str
+    module: Module
+    info: ModuleInfo
+
+
+def compile_unit(source: str, name: str = "") -> CompiledUnit:
+    """Compile MiniC *source*, keeping all intermediates."""
+    module = parse(source)
+    info = analyze(module)
+    asm_text = generate(module, info)
+    program = assemble(asm_text, source_name=name)
+    return CompiledUnit(program=program, asm_text=asm_text, module=module, info=info)
+
+
+def compile_source(source: str, name: str = "") -> Program:
+    """Compile MiniC *source* to a loadable :class:`Program`."""
+    return compile_unit(source, name).program
+
+
+__all__ = ["CompiledUnit", "compile_unit", "compile_source"]

@@ -1,0 +1,163 @@
+"""Lexer for MiniC, the small imperative language the mini-apps are written in.
+
+MiniC exists so the six HPC proxy applications can be *compiled* to the
+repro ISA with a realistic x86-style stack discipline -- which is what makes
+the paper's fault-injection results and Heuristic II meaningful.  The
+surface syntax is a C subset: ``func``/``global``/``var`` declarations,
+``int``/``float`` (both 64-bit), global arrays, ``if``/``while``/``for``,
+and ``out``/``assert``/``abort`` statements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum, auto
+
+from repro.errors import CompileError
+
+
+class Tok(Enum):
+    """Token kinds."""
+
+    IDENT = auto()
+    INT = auto()
+    FLOAT = auto()
+    KW = auto()      # keyword; value holds which
+    PUNCT = auto()   # operator or delimiter; value holds the spelling
+    EOF = auto()
+
+
+KEYWORDS = frozenset(
+    {
+        "func",
+        "global",
+        "var",
+        "int",
+        "float",
+        "if",
+        "else",
+        "while",
+        "for",
+        "return",
+        "break",
+        "continue",
+        "out",
+        "abort",
+        "assert",
+    }
+)
+
+#: Multi-char operators, longest-match-first.
+_PUNCT2 = ("&&", "||", "==", "!=", "<=", ">=", "->")
+_PUNCT1 = "+-*/%<>=!(){}[];,"
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its source line (1-based)."""
+
+    kind: Tok
+    value: str | int | float
+    line: int
+
+    def is_punct(self, spelling: str) -> bool:
+        return self.kind is Tok.PUNCT and self.value == spelling
+
+    def is_kw(self, word: str) -> bool:
+        return self.kind is Tok.KW and self.value == word
+
+    def __str__(self) -> str:  # pragma: no cover - diagnostics only
+        return f"{self.kind.name}({self.value!r})@{self.line}"
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenize *source*; raises :class:`CompileError` on bad input."""
+    tokens: list[Token] = []
+    i = 0
+    line = 1
+    n = len(source)
+    while i < n:
+        ch = source[i]
+        if ch == "\n":
+            line += 1
+            i += 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            continue
+        if source.startswith("//", i):
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+        if source.startswith("/*", i):
+            end = source.find("*/", i + 2)
+            if end < 0:
+                raise CompileError("unterminated block comment", line)
+            line += source.count("\n", i, end)
+            i = end + 2
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < n and source[i + 1].isdigit()):
+            i, token = _number(source, i, line)
+            tokens.append(token)
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (source[j].isalnum() or source[j] == "_"):
+                j += 1
+            word = source[i:j]
+            kind = Tok.KW if word in KEYWORDS else Tok.IDENT
+            tokens.append(Token(kind, word, line))
+            i = j
+            continue
+        matched = False
+        for punct in _PUNCT2:
+            if source.startswith(punct, i):
+                tokens.append(Token(Tok.PUNCT, punct, line))
+                i += len(punct)
+                matched = True
+                break
+        if matched:
+            continue
+        if ch in _PUNCT1:
+            tokens.append(Token(Tok.PUNCT, ch, line))
+            i += 1
+            continue
+        raise CompileError(f"unexpected character {ch!r}", line)
+    tokens.append(Token(Tok.EOF, "", line))
+    return tokens
+
+
+def _number(source: str, i: int, line: int) -> tuple[int, Token]:
+    n = len(source)
+    if source.startswith(("0x", "0X"), i):
+        j = i + 2
+        while j < n and source[j] in "0123456789abcdefABCDEF":
+            j += 1
+        if j == i + 2:
+            raise CompileError("bad hex literal", line)
+        return j, Token(Tok.INT, int(source[i:j], 16), line)
+    j = i
+    is_float = False
+    while j < n and source[j].isdigit():
+        j += 1
+    if j < n and source[j] == ".":
+        is_float = True
+        j += 1
+        while j < n and source[j].isdigit():
+            j += 1
+    if j < n and source[j] in "eE":
+        k = j + 1
+        if k < n and source[k] in "+-":
+            k += 1
+        if k < n and source[k].isdigit():
+            is_float = True
+            j = k
+            while j < n and source[j].isdigit():
+                j += 1
+    text = source[i:j]
+    if is_float:
+        return j, Token(Tok.FLOAT, float(text), line)
+    return j, Token(Tok.INT, int(text), line)
+
+
+__all__ = ["Tok", "Token", "tokenize", "KEYWORDS"]

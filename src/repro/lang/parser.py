@@ -1,0 +1,416 @@
+"""Recursive-descent parser for MiniC.
+
+Grammar (EBNF-ish)::
+
+    module      := (global | func)*
+    global      := "global" type IDENT ("[" INT "]")? ("=" literal)? ";"
+    func        := "func" IDENT "(" params? ")" "->" type block
+    params      := type IDENT ("," type IDENT)*
+    block       := "{" stmt* "}"
+    stmt        := vardecl | assign ";" | if | while | for | return ";"
+                 | "out" "(" expr ")" ";" | "abort" "(" ")" ";"
+                 | "assert" "(" expr ")" ";" | "break" ";" | "continue" ";"
+                 | expr ";"
+    vardecl     := "var" type IDENT ("=" expr)? ";"
+    assign      := lvalue "=" expr
+    if          := "if" "(" expr ")" block ("else" (block | if))?
+    while       := "while" "(" expr ")" block
+    for         := "for" "(" assign? ";" expr ";" assign? ")" block
+    expr        := or
+    or          := and ("||" and)*
+    and         := cmp ("&&" cmp)*
+    cmp         := addsub (("<"|"<="|">"|">="|"=="|"!=") addsub)?
+    addsub      := muldiv (("+"|"-") muldiv)*
+    muldiv      := unary (("*"|"/"|"%") unary)*
+    unary       := ("-"|"!") unary | postfix
+    postfix     := IDENT "(" args ")" | IDENT "[" expr "]" | IDENT
+                 | literal | "(" expr ")"
+"""
+
+from __future__ import annotations
+
+from repro.errors import CompileError
+from repro.lang.ast_nodes import (
+    Abort,
+    Assert,
+    Assign,
+    BinOp,
+    Block,
+    Break,
+    Call,
+    Continue,
+    Expr,
+    ExprStmt,
+    FloatLit,
+    For,
+    FuncDecl,
+    GlobalDecl,
+    If,
+    Index,
+    IntLit,
+    Module,
+    Name,
+    Out,
+    Param,
+    Return,
+    Stmt,
+    Type,
+    UnOp,
+    VarDecl,
+    While,
+)
+from repro.lang.lexer import Tok, Token, tokenize
+
+_CMP_OPS = ("<", "<=", ">", ">=", "==", "!=")
+
+
+class Parser:
+    """One-token-lookahead recursive descent."""
+
+    def __init__(self, tokens: list[Token]):
+        self._tokens = tokens
+        self._pos = 0
+
+    # -- token plumbing ------------------------------------------------------
+
+    @property
+    def _cur(self) -> Token:
+        return self._tokens[self._pos]
+
+    def _advance(self) -> Token:
+        token = self._cur
+        if token.kind is not Tok.EOF:
+            self._pos += 1
+        return token
+
+    def _expect_punct(self, spelling: str) -> Token:
+        if not self._cur.is_punct(spelling):
+            raise CompileError(
+                f"expected {spelling!r}, got {self._cur.value!r}", self._cur.line
+            )
+        return self._advance()
+
+    def _expect_kw(self, word: str) -> Token:
+        if not self._cur.is_kw(word):
+            raise CompileError(
+                f"expected {word!r}, got {self._cur.value!r}", self._cur.line
+            )
+        return self._advance()
+
+    def _expect_ident(self) -> Token:
+        if self._cur.kind is not Tok.IDENT:
+            raise CompileError(
+                f"expected identifier, got {self._cur.value!r}", self._cur.line
+            )
+        return self._advance()
+
+    def _type(self) -> Type:
+        if self._cur.is_kw("int"):
+            self._advance()
+            return Type.INT
+        if self._cur.is_kw("float"):
+            self._advance()
+            return Type.FLOAT
+        raise CompileError(
+            f"expected a type, got {self._cur.value!r}", self._cur.line
+        )
+
+    # -- top level -----------------------------------------------------------
+
+    def parse_module(self) -> Module:
+        module = Module()
+        while self._cur.kind is not Tok.EOF:
+            if self._cur.is_kw("global"):
+                module.globals.append(self._global())
+            elif self._cur.is_kw("func"):
+                module.funcs.append(self._func())
+            else:
+                raise CompileError(
+                    f"expected 'global' or 'func', got {self._cur.value!r}",
+                    self._cur.line,
+                )
+        return module
+
+    def _global(self) -> GlobalDecl:
+        line = self._expect_kw("global").line
+        declared = self._type()
+        name = self._expect_ident().value
+        size: int | None = None
+        init: int | float | None = None
+        if self._cur.is_punct("["):
+            self._advance()
+            size_tok = self._advance()
+            if size_tok.kind is not Tok.INT or size_tok.value <= 0:
+                raise CompileError("array size must be a positive int literal", line)
+            size = int(size_tok.value)
+            self._expect_punct("]")
+        if self._cur.is_punct("="):
+            if size is not None:
+                raise CompileError("array globals cannot have initializers", line)
+            self._advance()
+            negate = False
+            if self._cur.is_punct("-"):
+                negate = True
+                self._advance()
+            lit = self._advance()
+            if lit.kind is Tok.INT and declared is Type.INT:
+                init = -lit.value if negate else lit.value
+            elif lit.kind in (Tok.FLOAT, Tok.INT) and declared is Type.FLOAT:
+                init = -float(lit.value) if negate else float(lit.value)
+            else:
+                raise CompileError(
+                    f"initializer type does not match 'global {declared}'", line
+                )
+        self._expect_punct(";")
+        return GlobalDecl(line=line, name=str(name), declared=declared, size=size, init=init)
+
+    def _func(self) -> FuncDecl:
+        line = self._expect_kw("func").line
+        name = self._expect_ident().value
+        self._expect_punct("(")
+        params: list[Param] = []
+        if not self._cur.is_punct(")"):
+            while True:
+                declared = self._type()
+                pname = self._expect_ident().value
+                params.append(Param(name=str(pname), declared=declared))
+                if self._cur.is_punct(","):
+                    self._advance()
+                    continue
+                break
+        self._expect_punct(")")
+        self._expect_punct("->")
+        ret = self._type()
+        body = self._block()
+        return FuncDecl(line=line, name=str(name), params=params, ret=ret, body=body)
+
+    # -- statements ------------------------------------------------------------
+
+    def _block(self) -> Block:
+        open_tok = self._expect_punct("{")
+        stmts: list[Stmt] = []
+        while not self._cur.is_punct("}"):
+            if self._cur.kind is Tok.EOF:
+                raise CompileError("unterminated block", open_tok.line)
+            stmts.append(self._stmt())
+        self._advance()
+        return Block(line=open_tok.line, stmts=stmts)
+
+    def _stmt(self) -> Stmt:
+        token = self._cur
+        if token.is_kw("var"):
+            return self._vardecl()
+        if token.is_kw("if"):
+            return self._if()
+        if token.is_kw("while"):
+            return self._while()
+        if token.is_kw("for"):
+            return self._for()
+        if token.is_kw("return"):
+            self._advance()
+            value = None if self._cur.is_punct(";") else self._expr()
+            self._expect_punct(";")
+            return Return(line=token.line, value=value)
+        if token.is_kw("out"):
+            self._advance()
+            self._expect_punct("(")
+            expr = self._expr()
+            self._expect_punct(")")
+            self._expect_punct(";")
+            return Out(line=token.line, expr=expr)
+        if token.is_kw("abort"):
+            self._advance()
+            self._expect_punct("(")
+            self._expect_punct(")")
+            self._expect_punct(";")
+            return Abort(line=token.line)
+        if token.is_kw("assert"):
+            self._advance()
+            self._expect_punct("(")
+            cond = self._expr()
+            self._expect_punct(")")
+            self._expect_punct(";")
+            return Assert(line=token.line, cond=cond)
+        if token.is_kw("break"):
+            self._advance()
+            self._expect_punct(";")
+            return Break(line=token.line)
+        if token.is_kw("continue"):
+            self._advance()
+            self._expect_punct(";")
+            return Continue(line=token.line)
+        # assignment or expression statement
+        stmt = self._assign_or_expr()
+        self._expect_punct(";")
+        return stmt
+
+    def _assign_or_expr(self) -> Stmt:
+        line = self._cur.line
+        expr = self._expr()
+        if self._cur.is_punct("="):
+            if not isinstance(expr, (Name, Index)):
+                raise CompileError("assignment target must be a variable or element", line)
+            self._advance()
+            value = self._expr()
+            return Assign(line=line, target=expr, value=value)
+        return ExprStmt(line=line, expr=expr)
+
+    def _vardecl(self) -> VarDecl:
+        line = self._expect_kw("var").line
+        declared = self._type()
+        name = self._expect_ident().value
+        init = None
+        if self._cur.is_punct("="):
+            self._advance()
+            init = self._expr()
+        self._expect_punct(";")
+        return VarDecl(line=line, name=str(name), declared=declared, init=init)
+
+    def _if(self) -> If:
+        line = self._expect_kw("if").line
+        self._expect_punct("(")
+        cond = self._expr()
+        self._expect_punct(")")
+        then = self._block()
+        orelse: Block | None = None
+        if self._cur.is_kw("else"):
+            self._advance()
+            if self._cur.is_kw("if"):
+                nested = self._if()
+                orelse = Block(line=nested.line, stmts=[nested])
+            else:
+                orelse = self._block()
+        return If(line=line, cond=cond, then=then, orelse=orelse)
+
+    def _while(self) -> While:
+        line = self._expect_kw("while").line
+        self._expect_punct("(")
+        cond = self._expr()
+        self._expect_punct(")")
+        body = self._block()
+        return While(line=line, cond=cond, body=body)
+
+    def _for(self) -> For:
+        line = self._expect_kw("for").line
+        self._expect_punct("(")
+        init: Assign | None = None
+        if not self._cur.is_punct(";"):
+            stmt = self._assign_or_expr()
+            if not isinstance(stmt, Assign):
+                raise CompileError("for-init must be an assignment", line)
+            init = stmt
+        self._expect_punct(";")
+        cond = self._expr()
+        self._expect_punct(";")
+        step: Assign | None = None
+        if not self._cur.is_punct(")"):
+            stmt = self._assign_or_expr()
+            if not isinstance(stmt, Assign):
+                raise CompileError("for-step must be an assignment", line)
+            step = stmt
+        self._expect_punct(")")
+        body = self._block()
+        return For(line=line, init=init, cond=cond, step=step, body=body)
+
+    # -- expressions -----------------------------------------------------------
+
+    def _expr(self) -> Expr:
+        return self._or()
+
+    def _or(self) -> Expr:
+        left = self._and()
+        while self._cur.is_punct("||"):
+            line = self._advance().line
+            right = self._and()
+            left = BinOp(line=line, op="||", left=left, right=right)
+        return left
+
+    def _and(self) -> Expr:
+        left = self._cmp()
+        while self._cur.is_punct("&&"):
+            line = self._advance().line
+            right = self._cmp()
+            left = BinOp(line=line, op="&&", left=left, right=right)
+        return left
+
+    def _cmp(self) -> Expr:
+        left = self._addsub()
+        if self._cur.kind is Tok.PUNCT and self._cur.value in _CMP_OPS:
+            op_tok = self._advance()
+            right = self._addsub()
+            return BinOp(line=op_tok.line, op=str(op_tok.value), left=left, right=right)
+        return left
+
+    def _addsub(self) -> Expr:
+        left = self._muldiv()
+        while self._cur.kind is Tok.PUNCT and self._cur.value in ("+", "-"):
+            op_tok = self._advance()
+            right = self._muldiv()
+            left = BinOp(line=op_tok.line, op=str(op_tok.value), left=left, right=right)
+        return left
+
+    def _muldiv(self) -> Expr:
+        left = self._unary()
+        while self._cur.kind is Tok.PUNCT and self._cur.value in ("*", "/", "%"):
+            op_tok = self._advance()
+            right = self._unary()
+            left = BinOp(line=op_tok.line, op=str(op_tok.value), left=left, right=right)
+        return left
+
+    def _unary(self) -> Expr:
+        if self._cur.kind is Tok.PUNCT and self._cur.value in ("-", "!"):
+            op_tok = self._advance()
+            operand = self._unary()
+            return UnOp(line=op_tok.line, op=str(op_tok.value), operand=operand)
+        return self._postfix()
+
+    def _postfix(self) -> Expr:
+        token = self._cur
+        if token.kind is Tok.INT:
+            self._advance()
+            return IntLit(line=token.line, value=int(token.value))
+        if token.kind is Tok.FLOAT:
+            self._advance()
+            return FloatLit(line=token.line, value=float(token.value))
+        if token.is_punct("("):
+            self._advance()
+            inner = self._expr()
+            self._expect_punct(")")
+            return inner
+        # "float(...)" / "int(...)" conversions use type keywords as names.
+        if token.is_kw("float") or token.is_kw("int"):
+            self._advance()
+            self._expect_punct("(")
+            arg = self._expr()
+            self._expect_punct(")")
+            return Call(line=token.line, name=str(token.value), args=[arg])
+        if token.kind is Tok.IDENT:
+            self._advance()
+            name = str(token.value)
+            if self._cur.is_punct("("):
+                self._advance()
+                args: list[Expr] = []
+                if not self._cur.is_punct(")"):
+                    while True:
+                        args.append(self._expr())
+                        if self._cur.is_punct(","):
+                            self._advance()
+                            continue
+                        break
+                self._expect_punct(")")
+                return Call(line=token.line, name=name, args=args)
+            if self._cur.is_punct("["):
+                self._advance()
+                index = self._expr()
+                self._expect_punct("]")
+                return Index(line=token.line, name=name, index=index)
+            return Name(line=token.line, name=name)
+        raise CompileError(f"unexpected token {token.value!r}", token.line)
+
+
+def parse(source: str) -> Module:
+    """Parse MiniC *source* into a :class:`Module`."""
+    return Parser(tokenize(source)).parse_module()
+
+
+__all__ = ["Parser", "parse"]

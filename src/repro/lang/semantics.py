@@ -1,0 +1,422 @@
+"""Semantic analysis for MiniC: symbols, types, and shape checks.
+
+The pass annotates every expression node with its :class:`Type` (the code
+generator requires it) and rejects: undeclared names, type mismatches (no
+implicit conversions -- use ``float(x)`` / ``int(x)``), indexing scalars,
+using arrays without an index, wrong-arity calls, ``break``/``continue``
+outside loops, duplicate declarations, and functions that may fall off the
+end without returning.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import CompileError
+from repro.lang.ast_nodes import (
+    Abort,
+    Assert,
+    Assign,
+    BinOp,
+    Block,
+    Break,
+    Call,
+    Continue,
+    Expr,
+    ExprStmt,
+    FloatLit,
+    For,
+    FuncDecl,
+    If,
+    Index,
+    IntLit,
+    Module,
+    Name,
+    Out,
+    Return,
+    Stmt,
+    Type,
+    UnOp,
+    VarDecl,
+    While,
+)
+
+#: Intrinsics: name -> (param types, return type).  ``float``/``int`` are
+#: conversions; the rest map 1:1 to FP instructions.
+INTRINSICS: dict[str, tuple[tuple[Type, ...], Type]] = {
+    "sqrt": ((Type.FLOAT,), Type.FLOAT),
+    "fabs": ((Type.FLOAT,), Type.FLOAT),
+    "fmin": ((Type.FLOAT, Type.FLOAT), Type.FLOAT),
+    "fmax": ((Type.FLOAT, Type.FLOAT), Type.FLOAT),
+    "float": ((Type.INT,), Type.FLOAT),
+    "int": ((Type.FLOAT,), Type.INT),
+    # SPMD communication (usable only inside a cluster; see machine.cluster)
+    "myrank": ((), Type.INT),
+    "nranks": ((), Type.INT),
+    "sendi": ((Type.INT, Type.INT), Type.INT),    # sendi(rank, v) -> 0
+    "recvi": ((Type.INT,), Type.INT),             # recvi(rank) -> v
+    "sendf": ((Type.INT, Type.FLOAT), Type.INT),  # sendf(rank, x) -> 0
+    "recvf": ((Type.INT,), Type.FLOAT),           # recvf(rank) -> x
+}
+
+
+@dataclass(frozen=True)
+class GlobalInfo:
+    """Resolved global symbol."""
+
+    name: str
+    ty: Type
+    is_array: bool
+    cells: int
+
+
+@dataclass(frozen=True)
+class FuncInfo:
+    """Resolved function signature."""
+
+    name: str
+    param_types: tuple[Type, ...]
+    ret: Type
+
+
+@dataclass(frozen=True)
+class LocalInfo:
+    """A local variable or parameter inside a function scope."""
+
+    name: str
+    ty: Type
+    is_param: bool
+    slot: int  # param index or local index, assigned in declaration order
+
+
+class ModuleInfo:
+    """Symbol tables produced by :func:`analyze` (consumed by codegen)."""
+
+    def __init__(self) -> None:
+        self.globals: dict[str, GlobalInfo] = {}
+        self.funcs: dict[str, FuncInfo] = {}
+        #: function name -> ordered locals (params first), name -> LocalInfo
+        self.scopes: dict[str, dict[str, LocalInfo]] = {}
+
+    def locals_of(self, func: str) -> dict[str, LocalInfo]:
+        return self.scopes[func]
+
+    def n_locals(self, func: str) -> int:
+        """Number of non-param locals in *func* (frame slots)."""
+        return sum(1 for v in self.scopes[func].values() if not v.is_param)
+
+
+class _FuncChecker:
+    def __init__(self, module_info: ModuleInfo, func: FuncDecl):
+        self.info = module_info
+        self.func = func
+        self.scope: dict[str, LocalInfo] = {}
+        self._n_params = 0
+        self._n_locals = 0
+        self._loop_depth = 0
+
+    def check(self) -> None:
+        for param in self.func.params:
+            if param.name in self.scope:
+                raise CompileError(
+                    f"duplicate parameter {param.name!r}", self.func.line
+                )
+            self.scope[param.name] = LocalInfo(
+                name=param.name, ty=param.declared, is_param=True, slot=self._n_params
+            )
+            self._n_params += 1
+        assert self.func.body is not None
+        returns = self._block(self.func.body)
+        if not returns:
+            raise CompileError(
+                f"function {self.func.name!r} may fall off the end without return",
+                self.func.line,
+            )
+        self.info.scopes[self.func.name] = dict(self.scope)
+
+    # -- statements: return True if the statement definitely returns -------
+
+    def _block(self, block: Block) -> bool:
+        returns = False
+        for stmt in block.stmts:
+            if returns:
+                raise CompileError("unreachable statement after return", stmt.line)
+            returns = self._stmt(stmt)
+        return returns
+
+    def _stmt(self, stmt: Stmt) -> bool:
+        if isinstance(stmt, VarDecl):
+            if stmt.name in self.scope:
+                raise CompileError(f"duplicate local {stmt.name!r}", stmt.line)
+            if stmt.name in self.info.globals:
+                # Shadowing globals is allowed but flagged strictly: forbid.
+                raise CompileError(
+                    f"local {stmt.name!r} shadows a global", stmt.line
+                )
+            if stmt.init is not None:
+                ty = self._expr(stmt.init)
+                if ty is not stmt.declared:
+                    raise CompileError(
+                        f"initializer of {stmt.name!r} is {ty}, declared {stmt.declared}",
+                        stmt.line,
+                    )
+            self.scope[stmt.name] = LocalInfo(
+                name=stmt.name, ty=stmt.declared, is_param=False, slot=self._n_locals
+            )
+            self._n_locals += 1
+            return False
+        if isinstance(stmt, Assign):
+            assert stmt.target is not None and stmt.value is not None
+            target_ty = self._lvalue(stmt.target)
+            value_ty = self._expr(stmt.value)
+            if target_ty is not value_ty:
+                raise CompileError(
+                    f"cannot assign {value_ty} to {target_ty} lvalue", stmt.line
+                )
+            return False
+        if isinstance(stmt, If):
+            assert stmt.cond is not None and stmt.then is not None
+            self._cond(stmt.cond)
+            then_returns = self._block(stmt.then)
+            else_returns = self._block(stmt.orelse) if stmt.orelse else False
+            return then_returns and else_returns
+        if isinstance(stmt, While):
+            assert stmt.cond is not None and stmt.body is not None
+            self._cond(stmt.cond)
+            self._loop_depth += 1
+            self._block(stmt.body)
+            self._loop_depth -= 1
+            return False
+        if isinstance(stmt, For):
+            assert stmt.cond is not None and stmt.body is not None
+            if stmt.init is not None:
+                self._stmt(stmt.init)
+            self._cond(stmt.cond)
+            self._loop_depth += 1
+            self._block(stmt.body)
+            if stmt.step is not None:
+                self._stmt(stmt.step)
+            self._loop_depth -= 1
+            return False
+        if isinstance(stmt, Return):
+            if stmt.value is None:
+                raise CompileError(
+                    "return must carry a value (all functions are typed)", stmt.line
+                )
+            ty = self._expr(stmt.value)
+            if ty is not self.func.ret:
+                raise CompileError(
+                    f"return type {ty} does not match declared {self.func.ret}",
+                    stmt.line,
+                )
+            return True
+        if isinstance(stmt, ExprStmt):
+            assert stmt.expr is not None
+            if not isinstance(stmt.expr, Call):
+                raise CompileError(
+                    "expression statements must be calls", stmt.line
+                )
+            self._expr(stmt.expr)
+            return False
+        if isinstance(stmt, Out):
+            assert stmt.expr is not None
+            self._expr(stmt.expr)
+            return False
+        if isinstance(stmt, Abort):
+            return False
+        if isinstance(stmt, Assert):
+            assert stmt.cond is not None
+            self._cond(stmt.cond)
+            return False
+        if isinstance(stmt, (Break, Continue)):
+            if self._loop_depth == 0:
+                kind = "break" if isinstance(stmt, Break) else "continue"
+                raise CompileError(f"{kind} outside a loop", stmt.line)
+            return False
+        raise AssertionError(f"unhandled statement {stmt!r}")
+
+    def _cond(self, expr: Expr) -> None:
+        ty = self._expr(expr)
+        if ty is not Type.INT:
+            raise CompileError("condition must be int (use a comparison)", expr.line)
+
+    # -- expressions --------------------------------------------------------
+
+    def _lvalue(self, expr: Expr) -> Type:
+        if isinstance(expr, Name):
+            local = self.scope.get(expr.name)
+            if local is not None:
+                expr.ty = local.ty
+                return local.ty
+            glob = self.info.globals.get(expr.name)
+            if glob is not None:
+                if glob.is_array:
+                    raise CompileError(
+                        f"array {expr.name!r} needs an index", expr.line
+                    )
+                expr.ty = glob.ty
+                return glob.ty
+            raise CompileError(f"undeclared variable {expr.name!r}", expr.line)
+        if isinstance(expr, Index):
+            return self._index(expr)
+        raise CompileError("invalid assignment target", expr.line)
+
+    def _index(self, expr: Index) -> Type:
+        glob = self.info.globals.get(expr.name)
+        if glob is None:
+            raise CompileError(f"undeclared array {expr.name!r}", expr.line)
+        if not glob.is_array:
+            raise CompileError(f"{expr.name!r} is a scalar, not an array", expr.line)
+        assert expr.index is not None
+        index_ty = self._expr(expr.index)
+        if index_ty is not Type.INT:
+            raise CompileError("array index must be int", expr.line)
+        expr.ty = glob.ty
+        return glob.ty
+
+    def _expr(self, expr: Expr) -> Type:
+        if isinstance(expr, IntLit):
+            expr.ty = Type.INT
+            return Type.INT
+        if isinstance(expr, FloatLit):
+            expr.ty = Type.FLOAT
+            return Type.FLOAT
+        if isinstance(expr, Name):
+            return self._lvalue(expr)
+        if isinstance(expr, Index):
+            return self._index(expr)
+        if isinstance(expr, UnOp):
+            assert expr.operand is not None
+            ty = self._expr(expr.operand)
+            if expr.op == "!":
+                if ty is not Type.INT:
+                    raise CompileError("'!' needs an int operand", expr.line)
+                expr.ty = Type.INT
+                return Type.INT
+            expr.ty = ty
+            return ty
+        if isinstance(expr, BinOp):
+            return self._binop(expr)
+        if isinstance(expr, Call):
+            return self._call(expr)
+        raise AssertionError(f"unhandled expression {expr!r}")
+
+    def _binop(self, expr: BinOp) -> Type:
+        assert expr.left is not None and expr.right is not None
+        lt = self._expr(expr.left)
+        rt = self._expr(expr.right)
+        op = expr.op
+        if op in ("&&", "||"):
+            if lt is not Type.INT or rt is not Type.INT:
+                raise CompileError(f"{op!r} needs int operands", expr.line)
+            expr.ty = Type.INT
+            return Type.INT
+        if lt is not rt:
+            raise CompileError(
+                f"operands of {op!r} have mixed types {lt}/{rt} "
+                "(use float()/int())",
+                expr.line,
+            )
+        if op in ("<", "<=", ">", ">=", "==", "!="):
+            expr.ty = Type.INT
+            return Type.INT
+        if op == "%":
+            if lt is not Type.INT:
+                raise CompileError("'%' is integer-only", expr.line)
+            expr.ty = Type.INT
+            return Type.INT
+        if op in ("+", "-", "*", "/"):
+            expr.ty = lt
+            return lt
+        raise AssertionError(f"unknown operator {op!r}")
+
+    def _call(self, expr: Call) -> Type:
+        intrinsic = INTRINSICS.get(expr.name)
+        if intrinsic is not None:
+            param_types, ret = intrinsic
+            if len(expr.args) != len(param_types):
+                raise CompileError(
+                    f"{expr.name}() takes {len(param_types)} argument(s)", expr.line
+                )
+            for arg, want in zip(expr.args, param_types):
+                got = self._expr(arg)
+                if got is not want:
+                    raise CompileError(
+                        f"{expr.name}() argument is {got}, expected {want}",
+                        expr.line,
+                    )
+            expr.ty = ret
+            return ret
+        func = self.info.funcs.get(expr.name)
+        if func is None:
+            raise CompileError(f"call to undefined function {expr.name!r}", expr.line)
+        if len(expr.args) != len(func.param_types):
+            raise CompileError(
+                f"{expr.name}() takes {len(func.param_types)} argument(s), "
+                f"got {len(expr.args)}",
+                expr.line,
+            )
+        for arg, want in zip(expr.args, func.param_types):
+            got = self._expr(arg)
+            if got is not want:
+                raise CompileError(
+                    f"{expr.name}() argument is {got}, expected {want}", expr.line
+                )
+        expr.ty = func.ret
+        return func.ret
+
+
+def analyze(module: Module) -> ModuleInfo:
+    """Check *module* and return its symbol tables.
+
+    Mutates the AST in place by filling expression ``ty`` slots.
+    """
+    info = ModuleInfo()
+    for decl in module.globals:
+        if decl.name in info.globals:
+            raise CompileError(f"duplicate global {decl.name!r}", decl.line)
+        if decl.name in INTRINSICS:
+            raise CompileError(
+                f"{decl.name!r} is a reserved intrinsic name", decl.line
+            )
+        info.globals[decl.name] = GlobalInfo(
+            name=decl.name,
+            ty=decl.declared,
+            is_array=decl.size is not None,
+            cells=decl.size if decl.size is not None else 1,
+        )
+    for func in module.funcs:
+        if func.name in info.funcs:
+            raise CompileError(f"duplicate function {func.name!r}", func.line)
+        if func.name in INTRINSICS:
+            raise CompileError(
+                f"{func.name!r} is a reserved intrinsic name", func.line
+            )
+        if func.name in info.globals:
+            raise CompileError(
+                f"function {func.name!r} collides with a global", func.line
+            )
+        info.funcs[func.name] = FuncInfo(
+            name=func.name,
+            param_types=tuple(p.declared for p in func.params),
+            ret=func.ret,
+        )
+    if "main" not in info.funcs:
+        raise CompileError("module must define main()", 1)
+    if info.funcs["main"].param_types:
+        raise CompileError("main() takes no parameters", 1)
+    if info.funcs["main"].ret is not Type.INT:
+        raise CompileError("main() must return int", 1)
+    for func in module.funcs:
+        _FuncChecker(info, func).check()
+    return info
+
+
+__all__ = [
+    "analyze",
+    "ModuleInfo",
+    "GlobalInfo",
+    "FuncInfo",
+    "LocalInfo",
+    "INTRINSICS",
+]

@@ -1,0 +1,195 @@
+"""SPMD clusters: N ranks of one program with message passing.
+
+Models the multi-node HPC job of the paper's Section-7 assumptions: ranks
+run the same image (SPMD), communicate through asynchronous unbounded
+point-to-point queues (``send``/``fsend`` never block; ``recv``/``frecv``
+block until a message from the named source arrives), and are scheduled
+round-robin by :class:`Cluster` with a configurable quantum.
+
+The scheduler surfaces exactly the events a fault-tolerance layer needs:
+the first trap (with its rank), completion of all ranks, deadlock (every
+live rank blocked on an empty queue), and budget exhaustion.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.errors import SimulationError
+from repro.isa.program import Program
+from repro.machine.cpu import STOP_HALT
+from repro.machine.process import Process, ProcessStatus
+from repro.machine.signals import Blocked, Trap
+
+
+class Network:
+    """Point-to-point message queues between ranks.
+
+    Messages are raw 64-bit patterns (typed views applied at the
+    send/recv instruction boundary, like memory cells).
+    """
+
+    def __init__(self, size: int):
+        if size < 1:
+            raise SimulationError("cluster size must be >= 1")
+        self.size = size
+        self._queues: dict[tuple[int, int], deque[int]] = {}
+
+    def valid_rank(self, rank: int) -> bool:
+        """True if *rank* names a member of this cluster."""
+        return 0 <= rank < self.size
+
+    def send(self, src: int, dst: int, pattern: int) -> None:
+        """Enqueue a message (asynchronous, unbounded)."""
+        self._queues.setdefault((src, dst), deque()).append(pattern)
+
+    def recv(self, dst: int, src: int) -> int | None:
+        """Dequeue the next message from *src* to *dst*, or ``None``."""
+        queue = self._queues.get((src, dst))
+        if not queue:
+            return None
+        return queue.popleft()
+
+    def pending(self, dst: int, src: int) -> int:
+        """Messages waiting from *src* to *dst*."""
+        queue = self._queues.get((src, dst))
+        return len(queue) if queue else 0
+
+    def in_flight(self) -> int:
+        """Total queued messages across all channels."""
+        return sum(len(q) for q in self._queues.values())
+
+    # -- checkpoint support ----------------------------------------------
+
+    def capture(self) -> dict[tuple[int, int], tuple[int, ...]]:
+        """Immutable copy of all channel contents."""
+        return {key: tuple(q) for key, q in self._queues.items() if q}
+
+    def reset(self, state: dict[tuple[int, int], tuple[int, ...]]) -> None:
+        """Restore channel contents from :meth:`capture`."""
+        self._queues = {key: deque(values) for key, values in state.items()}
+
+
+@dataclass
+class ClusterEvent:
+    """Why :meth:`Cluster.run` returned."""
+
+    kind: str                    # 'exited' | 'trap' | 'deadlock' | 'budget'
+    steps: int                   # instructions retired across ranks this call
+    rank: int | None = None     # the trapping rank, for 'trap'
+    trap: Trap | None = None
+
+    def __str__(self) -> str:
+        base = f"cluster[{self.kind}] steps={self.steps}"
+        if self.trap is not None:
+            return f"{base} rank={self.rank} ({self.trap})"
+        return base
+
+
+@dataclass
+class _RankState:
+    process: Process
+    blocked_on: int | None = None   # src rank when blocked
+    exited: bool = False
+    terminated: bool = False
+    steps: int = 0                  # retired instructions, lifetime
+
+
+class Cluster:
+    """N ranks of one program sharing a :class:`Network`."""
+
+    def __init__(self, program: Program, size: int):
+        self.program = program
+        self.network = Network(size)
+        self.ranks: list[_RankState] = []
+        for rank in range(size):
+            process = Process.load(program)
+            process.cpu.rank = rank
+            process.cpu.network = self.network
+            self.ranks.append(_RankState(process=process))
+
+    @property
+    def size(self) -> int:
+        return self.network.size
+
+    def process(self, rank: int) -> Process:
+        """The process running as *rank*."""
+        return self.ranks[rank].process
+
+    def replace_process(self, rank: int, process: Process) -> None:
+        """Swap in a restored process for *rank* (rollback support)."""
+        process.cpu.rank = rank
+        process.cpu.network = self.network
+        state = self.ranks[rank]
+        state.process = process
+        state.blocked_on = None
+        state.exited = process.status is ProcessStatus.EXITED
+        state.terminated = process.status is ProcessStatus.TERMINATED
+
+    # -- scheduling -----------------------------------------------------------
+
+    def all_exited(self) -> bool:
+        """True when every rank has halted cleanly."""
+        return all(r.exited for r in self.ranks)
+
+    def outputs(self) -> list[list[tuple[str, int | float]]]:
+        """Per-rank output streams, rank order."""
+        return [list(r.process.cpu.output) for r in self.ranks]
+
+    def total_steps(self) -> int:
+        """Instructions retired across all ranks, lifetime."""
+        return sum(r.steps for r in self.ranks)
+
+    def run(self, max_steps: int, quantum: int = 2000) -> ClusterEvent:
+        """Round-robin schedule until an event; *max_steps* is the total
+        (all-rank) instruction budget for this call."""
+        remaining = max_steps
+        executed_total = 0
+        while remaining > 0:
+            progress = False
+            for rank_state in self.ranks:
+                if rank_state.exited or rank_state.terminated:
+                    continue
+                cpu = rank_state.process.cpu
+                if rank_state.blocked_on is not None:
+                    if self.network.pending(cpu.rank, rank_state.blocked_on) == 0:
+                        continue  # still nothing for it
+                    rank_state.blocked_on = None
+                before = cpu.instret
+                try:
+                    stop = cpu.run(min(quantum, remaining))
+                except Blocked as blocked:
+                    executed = cpu.instret - before
+                    rank_state.steps += executed
+                    remaining -= executed
+                    executed_total += executed
+                    rank_state.blocked_on = blocked.src
+                    progress = progress or executed > 0
+                    continue
+                except Trap as trap:
+                    executed = cpu.instret - before
+                    rank_state.steps += executed
+                    executed_total += executed
+                    return ClusterEvent(
+                        kind="trap",
+                        steps=executed_total,
+                        rank=cpu.rank,
+                        trap=trap,
+                    )
+                executed = cpu.instret - before
+                rank_state.steps += executed
+                remaining -= executed
+                executed_total += executed
+                progress = progress or executed > 0
+                if stop == STOP_HALT:
+                    rank_state.exited = True
+                    rank_state.process.status = ProcessStatus.EXITED
+            if self.all_exited():
+                return ClusterEvent(kind="exited", steps=executed_total)
+            if not progress:
+                return ClusterEvent(kind="deadlock", steps=executed_total)
+        return ClusterEvent(kind="budget", steps=executed_total)
+
+
+__all__ = ["Network", "Cluster", "ClusterEvent"]

@@ -1,0 +1,78 @@
+"""POSIX-style signals raised by the machine.
+
+Only the signals that matter to LetGo are modelled.  A hardware exception
+during execution raises :class:`Trap`; the process (or an attached
+debugger) decides what to do with it, mirroring how Linux turns hardware
+exceptions into signals whose default disposition terminates the process.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import IntEnum
+
+from repro.isa.instructions import Instr
+
+
+class Signal(IntEnum):
+    """Signal numbers (Linux x86-64 values, for familiarity)."""
+
+    SIGABRT = 6   # application-level abort (failed runtime assertion)
+    SIGBUS = 7    # misaligned data access
+    SIGFPE = 8    # integer divide / remainder by zero
+    SIGSEGV = 11  # access to an unmapped address, or PC out of the image
+
+
+#: Signals LetGo's monitor redefines, per Table 1 of the paper.
+LETGO_DEFAULT_SIGNALS = frozenset({Signal.SIGSEGV, Signal.SIGBUS, Signal.SIGABRT})
+
+
+@dataclass
+class Trap(Exception):
+    """A hardware exception (precise: ``pc`` still points at the faulter).
+
+    Attributes
+    ----------
+    signal:
+        The signal this exception maps to.
+    pc:
+        PC of the faulting instruction (or the out-of-range fetch PC).
+    instr:
+        The faulting instruction, or ``None`` for fetch faults.
+    detail:
+        Human-readable description.
+    address:
+        Faulting data address, when the trap came from a memory access.
+    """
+
+    signal: Signal
+    pc: int
+    instr: Instr | None = None
+    detail: str = ""
+    address: int | None = None
+
+    def __str__(self) -> str:
+        where = f"pc={self.pc}"
+        if self.address is not None:
+            where += f" addr=0x{self.address:x}"
+        return f"{self.signal.name} at {where}: {self.detail}"
+
+
+@dataclass
+class Blocked(Exception):
+    """A RECV found no message: the process must wait (precise: ``pc``
+    still points at the receive, which re-executes when rescheduled).
+
+    Not a failure -- the cluster scheduler uses it to switch ranks; a
+    standalone process that blocks is deadlocked by definition.
+    """
+
+    pc: int
+    rank: int
+    src: int
+
+    def __str__(self) -> str:
+        return f"rank {self.rank} blocked on recv from {self.src} at pc={self.pc}"
+
+
+__all__ = ["Signal", "Trap", "Blocked", "LETGO_DEFAULT_SIGNALS"]

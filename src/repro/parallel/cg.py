@@ -1,0 +1,190 @@
+"""Distributed conjugate gradient: the second SPMD proxy.
+
+Solves the 1-D Poisson system ``A u = b`` (A = tridiagonal Laplacian,
+Dirichlet walls) with unpreconditioned CG, domain-decomposed: the
+matrix-free ``A·p`` needs a halo exchange per iteration, and every dot
+product needs a global reduction -- implemented as gather-to-0 +
+broadcast, so communication is on the critical path twice per iteration.
+That makes CG the adversarial case for crash elision in parallel: most of
+its state is *shared arithmetic* (the reduced scalars), and a perturbed
+reduction desynchronises every rank at once.
+
+Acceptance (HPL-style, per Table 2's "residual check"): the final
+true residual ``||b - A u||_inf`` must sit below a fixed tolerance, the
+iteration count must be positive and below the cap, and the solution
+must be finite and symmetric (the RHS is mirror-symmetric).
+"""
+
+from __future__ import annotations
+
+from math import isfinite
+
+from repro.parallel.app import ParallelApp, RankOutputs
+
+#: Default decomposition: cells per rank and CG iteration cap.
+N_LOCAL = 12
+MAX_ITERS = 200
+
+
+def _cg_source(n_local: int, max_iters: int) -> str:
+    return f"""
+// SPMD conjugate gradient for the 1-D Dirichlet Laplacian.
+global int nloc = {n_local};
+global int maxit = {max_iters};
+global float u[{n_local + 2}];      // iterate, with ghosts
+global float r[{n_local + 2}];      // residual
+global float p[{n_local + 2}];      // search direction, with ghosts
+global float ap[{n_local + 2}];     // A * p
+global float b[{n_local + 2}];      // right-hand side
+global float tol = 1.0e-12;
+
+// global sum via gather-to-0 + broadcast
+func allreduce(float x) -> float {{
+    var int me = myrank();
+    var int np = nranks();
+    var int k;
+    if (me == 0) {{
+        var float s = x;
+        for (k = 1; k < np; k = k + 1) {{ s = s + recvf(k); }}
+        for (k = 1; k < np; k = k + 1) {{ sendf(k, s); }}
+        return s;
+    }}
+    sendf(0, x);
+    return recvf(0);
+}}
+
+// exchange p's halo cells with the neighbours (walls are zero: Dirichlet)
+func halo() -> int {{
+    var int me = myrank();
+    var int np = nranks();
+    if (me > 0) {{ sendf(me - 1, p[1]); }}
+    if (me < np - 1) {{ sendf(me + 1, p[nloc]); }}
+    if (me > 0) {{ p[0] = recvf(me - 1); }} else {{ p[0] = 0.0; }}
+    if (me < np - 1) {{ p[nloc + 1] = recvf(me + 1); }} else {{ p[nloc + 1] = 0.0; }}
+    return 0;
+}}
+
+func local_dot(int which) -> float {{
+    // which: 0 -> r.r, 1 -> p.ap
+    var int i;
+    var float s = 0.0;
+    for (i = 1; i <= nloc; i = i + 1) {{
+        if (which == 0) {{ s = s + r[i] * r[i]; }}
+        else {{ s = s + p[i] * ap[i]; }}
+    }}
+    return s;
+}}
+
+func main() -> int {{
+    var int me = myrank();
+    var int np = nranks();
+    var int i;
+    var float n2 = float(np * nloc + 1);
+    // symmetric RHS: b(x) = x(1-x) scaled; exact u is smooth
+    for (i = 1; i <= nloc; i = i + 1) {{
+        var float x = float(me * nloc + i) / n2;
+        b[i] = x * (1.0 - x);
+        u[i] = 0.0;
+        r[i] = b[i];
+        p[i] = b[i];
+    }}
+    var float rr = allreduce(local_dot(0));
+    var int iter = 0;
+    while (rr > tol && iter < maxit) {{
+        halo();
+        for (i = 1; i <= nloc; i = i + 1) {{
+            ap[i] = 2.0 * p[i] - p[i - 1] - p[i + 1];
+        }}
+        var float pap = allreduce(local_dot(1));
+        var float alpha = rr / pap;
+        for (i = 1; i <= nloc; i = i + 1) {{
+            u[i] = u[i] + alpha * p[i];
+            r[i] = r[i] - alpha * ap[i];
+        }}
+        var float rrnew = allreduce(local_dot(0));
+        var float beta = rrnew / rr;
+        for (i = 1; i <= nloc; i = i + 1) {{
+            p[i] = r[i] + beta * p[i];
+        }}
+        rr = rrnew;
+        iter = iter + 1;
+    }}
+    // true residual of the final iterate: reuse p as u's halo carrier
+    for (i = 1; i <= nloc; i = i + 1) {{ p[i] = u[i]; }}
+    halo();
+    var float res = 0.0;
+    for (i = 1; i <= nloc; i = i + 1) {{
+        var float ri = b[i] - (2.0 * p[i] - p[i - 1] - p[i + 1]);
+        res = fmax(res, fabs(ri));
+    }}
+    var float gres = allreduce(res);   // sum of per-rank maxima: still tiny
+    if (me == 0) {{
+        out(iter);
+        out(gres);
+    }}
+    for (i = 1; i <= nloc; i = i + 1) {{ out(u[i]); }}
+    return 0;
+}}
+"""
+
+
+class CgApp(ParallelApp):
+    """Distributed CG with an HPL-style residual acceptance check."""
+
+    name = "cg"
+    domain = "SPMD Krylov solver (conjugate gradient)"
+
+    RESIDUAL_TOL = 1e-5
+    SYMMETRY_TOL = 1e-8
+
+    def __init__(self, size: int = 4, n_local: int = N_LOCAL, max_iters: int = MAX_ITERS):
+        self.size = size
+        self.n_local = n_local
+        self.max_iters = max_iters
+
+    @property
+    def source(self) -> str:
+        return _cg_source(self.n_local, self.max_iters)
+
+    def acceptance_check(self, outputs: RankOutputs) -> bool:
+        if len(outputs) != self.size:
+            return False
+        rank0 = outputs[0]
+        if len(rank0) != 2 + self.n_local:
+            return False
+        if rank0[0][0] != "i" or any(k != "f" for k, _ in rank0[1:]):
+            return False
+        iterations = rank0[0][1]
+        residual = rank0[1][1]
+        if not (0 < iterations <= self.max_iters):
+            return False
+        if not (isfinite(residual) and residual < self.RESIDUAL_TOL):
+            return False
+        solution: list[float] = []
+        for rank, stream in enumerate(outputs):
+            cells = stream[2:] if rank == 0 else stream
+            if len(cells) != self.n_local:
+                return False
+            if any(k != "f" for k, _ in cells):
+                return False
+            values = [v for _, v in cells]
+            # unscaled Laplacian: the solution peaks around n^2/32 ~ 70 here
+            if not all(isfinite(v) and 0.0 <= v < 1000.0 for v in values):
+                return False
+            solution.extend(values)
+        # the RHS is mirror-symmetric, so the solution must be too
+        n = len(solution)
+        return all(
+            abs(solution[i] - solution[n - 1 - i]) < self.SYMMETRY_TOL
+            for i in range(n // 2)
+        )
+
+    def sdc_slice(self, outputs: RankOutputs) -> tuple:
+        values: list[float] = []
+        for rank, stream in enumerate(outputs):
+            cells = stream[2:] if rank == 0 else stream
+            values.extend(v for _, v in cells)
+        return tuple(values)
+
+
+__all__ = ["CgApp", "N_LOCAL", "MAX_ITERS"]

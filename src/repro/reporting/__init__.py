@@ -1,0 +1,5 @@
+"""Text reporting helpers (tables, percentage formatting)."""
+
+from repro.reporting.tables import ascii_table, pct, pct_ci
+
+__all__ = ["ascii_table", "pct", "pct_ci"]

@@ -1,0 +1,43 @@
+"""Plain-text table rendering shared by benches and examples."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def ascii_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render rows as a boxless aligned table (benchmark-log friendly)."""
+    materialized = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialized:
+        for i, cell in enumerate(row):
+            if i < len(widths):
+                widths[i] = max(widths[i], len(cell))
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in materialized:
+        lines.append(
+            "  ".join(cell.ljust(w) for cell, w in zip(row, widths))
+        )
+    return "\n".join(lines)
+
+
+def pct(value: float, digits: int = 2) -> str:
+    """Format a fraction as a percentage string."""
+    return f"{100.0 * value:.{digits}f}%"
+
+
+def pct_ci(value: float, half_width: float, digits: int = 2) -> str:
+    """Percentage with a +- confidence half-width."""
+    return f"{100.0 * value:.{digits}f}% ±{100.0 * half_width:.{digits}f}"
+
+
+__all__ = ["ascii_table", "pct", "pct_ci"]

@@ -1,0 +1,106 @@
+"""CFG construction: leaders, edges, reachability."""
+
+import networkx as nx
+
+from repro.analysis import build_cfg, function_cfg, leaders, reachable_blocks
+from repro.isa import Instr, Op, Program
+
+
+def straight_line():
+    return Program(
+        instrs=[
+            Instr(Op.MOVI, rd=1, imm=1),
+            Instr(Op.ADDI, rd=1, ra=1, imm=1),
+            Instr(Op.HALT),
+        ],
+        functions={"main": 0},
+    )
+
+
+def test_straight_line_single_block():
+    graph = build_cfg(straight_line())
+    assert graph.number_of_nodes() == 1
+    assert graph.number_of_edges() == 0
+
+
+def branchy():
+    return Program(
+        instrs=[
+            Instr(Op.MOVI, rd=1, imm=3),      # 0
+            Instr(Op.SUBI, rd=1, ra=1, imm=1),  # 1: loop head
+            Instr(Op.BNEZ, ra=1, imm=1),      # 2
+            Instr(Op.HALT),                   # 3
+        ],
+        functions={"main": 0},
+    )
+
+
+def test_leaders_branchy():
+    assert leaders(branchy()) == [0, 1, 3]
+
+
+def test_edges_branchy():
+    graph = build_cfg(branchy())
+    assert set(graph.edges) == {(0, 1), (1, 1), (1, 3)}
+    kinds = nx.get_edge_attributes(graph, "kind")
+    assert kinds[(1, 1)] == "taken"
+    assert kinds[(1, 3)] == "fallthrough"
+
+
+def test_call_gets_return_edge():
+    program = Program(
+        instrs=[
+            Instr(Op.CALL, imm=2),  # 0
+            Instr(Op.HALT),         # 1
+            Instr(Op.RET),          # 2
+        ],
+        functions={"main": 0, "f": 2},
+    )
+    graph = build_cfg(program)
+    assert (0, 1) in graph.edges
+    assert graph.edges[0, 1]["kind"] == "call-return"
+    # RET has no static successor
+    assert list(graph.successors(2)) == []
+
+
+def test_reachable_blocks_include_callee():
+    program = Program(
+        instrs=[
+            Instr(Op.CALL, imm=3),
+            Instr(Op.HALT),
+            Instr(Op.NOP),   # dead code
+            Instr(Op.RET),   # callee
+        ],
+        functions={"main": 0, "f": 3},
+    )
+    reach = reachable_blocks(program)
+    assert 0 in reach and 3 in reach
+    assert 1 in reach
+
+
+def test_function_cfg_restricted(demo_unit):
+    sub = function_cfg(demo_unit.program, "fib")
+    table_start = demo_unit.program.functions["fib"]
+    for node in sub.nodes:
+        assert node >= table_start
+
+
+def test_demo_cfg_blocks_partition(demo_program):
+    graph = build_cfg(demo_program)
+    covered = set()
+    for node in graph.nodes:
+        block = graph.nodes[node]["block"]
+        span = set(range(block.start, block.end))
+        assert not (span & covered)  # disjoint
+        covered |= span
+    assert covered == set(range(len(demo_program.instrs)))
+
+
+def test_apps_cfgs_build(suite):
+    for app in suite.values():
+        graph = build_cfg(app.program)
+        assert graph.number_of_nodes() > 10
+        reach = reachable_blocks(app.program)
+        # all functions are live in the apps
+        for name, pc in app.program.functions.items():
+            assert pc in reach, f"{app.name}:{name} unreachable"

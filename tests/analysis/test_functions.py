@@ -1,0 +1,90 @@
+"""FunctionTable: extents, prologue frame recovery (Heuristic II's input)."""
+
+import pytest
+
+from repro.analysis import FunctionTable
+from repro.errors import AnalysisError
+from repro.isa import Instr, Op, Program, assemble
+
+
+def test_demo_functions(demo_program):
+    table = FunctionTable(demo_program)
+    names = [f.name for f in table.functions]
+    assert names == ["_start", "main"]
+    start, main = table.functions
+    assert start.start == 0 and start.end == main.start
+    assert main.end == len(demo_program.instrs)
+
+
+def test_frame_size_from_prologue(demo_program):
+    table = FunctionTable(demo_program)
+    main = table.by_name("main")
+    assert main.frame_size == 16  # subi sp, sp, #16
+    assert main.has_frame
+
+
+def test_function_at_bisect(demo_program):
+    table = FunctionTable(demo_program)
+    main_pc = demo_program.functions["main"]
+    assert table.function_at(main_pc).name == "main"
+    assert table.function_at(main_pc + 2).name == "main"
+    assert table.function_at(0).name == "_start"
+    assert table.frame_size_at(main_pc + 2) == 16
+
+
+def test_function_at_out_of_image(demo_program):
+    table = FunctionTable(demo_program)
+    with pytest.raises(AnalysisError):
+        table.function_at(-1)
+    with pytest.raises(AnalysisError):
+        table.function_at(10**6)
+
+
+def test_by_name_unknown(demo_program):
+    with pytest.raises(AnalysisError):
+        FunctionTable(demo_program).by_name("ghost")
+
+
+def test_no_functions_rejected():
+    program = Program(instrs=[Instr(Op.HALT)], functions={"main": 0})
+    program.functions.clear()
+    with pytest.raises(AnalysisError):
+        FunctionTable(program)
+
+
+def test_leaf_function_no_frame():
+    program = assemble(
+        ".text\n.entry main\n.func main\nmain:\n    call leaf\n    halt\n"
+        ".func leaf\nleaf:\n    movi r1, #1\n    ret\n"
+    )
+    table = FunctionTable(program)
+    leaf = table.by_name("leaf")
+    assert leaf.frame_size == 0
+    assert not leaf.has_frame
+
+
+def test_minic_functions_all_have_frames(demo_unit):
+    table = FunctionTable(demo_unit.program)
+    for info in table.functions:
+        if info.name == "_start":
+            continue
+        assert info.has_frame, info.name
+
+
+def test_minic_frame_matches_locals(suite):
+    """Every app function's recovered frame is a non-negative multiple of 8."""
+    for app in suite.values():
+        for info in app.functions.functions:
+            assert info.frame_size % 8 == 0
+            assert info.frame_size >= 0
+
+
+def test_contains(demo_program):
+    table = FunctionTable(demo_program)
+    main = table.by_name("main")
+    assert main.start in main
+    assert main.end not in main
+
+
+def test_len(demo_program):
+    assert len(FunctionTable(demo_program)) == 2

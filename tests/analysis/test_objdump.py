@@ -1,0 +1,29 @@
+"""objdump-style reports."""
+
+from repro.analysis import cfg_summary, objdump
+
+
+def test_objdump_sections(demo_program):
+    text = objdump(demo_program)
+    assert "functions:" in text
+    assert "_start" in text and "main" in text
+    assert "frame=" in text
+    assert "checksum:" in text
+    assert "entry: _start" in text
+
+
+def test_objdump_data_symbols(demo_program):
+    text = objdump(demo_program)
+    assert "arr" in text and "cnt" in text
+
+
+def test_cfg_summary(demo_program):
+    text = cfg_summary(demo_program)
+    assert "main" in text
+    assert "blocks=" in text and "edges=" in text
+
+
+def test_objdump_on_app(lulesh_app):
+    text = objdump(lulesh_app.program)
+    assert "main" in text
+    assert "compute_dt" in text

@@ -1,0 +1,88 @@
+"""Acceptance checks must reject malformed and corrupted outputs.
+
+After a fault (especially with LetGo's PC-skipping), program output can be
+truncated, retyped, or numerically wrong; the checks are the paper's
+defence against SDCs and must fail closed.
+"""
+
+import math
+
+import pytest
+
+from repro.apps import make_app, app_names
+
+
+@pytest.fixture(params=app_names(), scope="module")
+def app(request, suite):
+    return suite[request.param]
+
+
+def test_empty_output_rejected(app):
+    assert not app.acceptance_check([])
+
+
+def test_truncated_output_rejected(app):
+    output = list(app.golden.output)
+    assert not app.acceptance_check(output[:-1])
+
+
+def test_extended_output_rejected(app):
+    output = list(app.golden.output) + [("f", 0.0)]
+    assert not app.acceptance_check(output)
+
+
+def test_retyped_leading_value_rejected(app):
+    output = list(app.golden.output)
+    kind, value = output[0]
+    flipped = ("f", float(value)) if kind == "i" else ("i", 0)
+    assert not app.acceptance_check([flipped] + output[1:])
+
+
+def test_nan_poisoned_output_rejected(app):
+    output = list(app.golden.output)
+    poisoned = [
+        (kind, math.nan if kind == "f" else value) for kind, value in output
+    ]
+    assert not app.acceptance_check(poisoned)
+
+
+def test_inf_poisoned_output_rejected(app):
+    output = list(app.golden.output)
+    poisoned = [
+        (kind, math.inf if kind == "f" else value) for kind, value in output
+    ]
+    assert not app.acceptance_check(poisoned)
+
+
+def test_grossly_scaled_output_rejected(app):
+    output = [
+        (kind, value * 1e6 if kind == "f" else value)
+        for kind, value in app.golden.output
+    ]
+    assert not app.acceptance_check(output)
+
+
+def test_visible_perturbation_of_sdc_data_flips_match(app):
+    """Perturbing SDC data above print granularity flips matches_golden."""
+    output = list(app.golden.output)
+    for i in range(len(output) - 1, -1, -1):
+        kind, value = output[i]
+        if kind == "f" and value != 0.0 and math.isfinite(value):
+            output[i] = (kind, value * (1.0 + 1e-6))
+            break
+    assert not app.matches_golden(output)
+
+
+def test_sub_print_precision_perturbation_masked(app):
+    """A last-bit nudge is below the printed granularity: still golden."""
+    output = list(app.golden.output)
+    for i in range(len(output) - 1, -1, -1):
+        kind, value = output[i]
+        if kind == "f" and value != 0.0 and math.isfinite(value):
+            output[i] = (kind, math.nextafter(value, math.inf))
+            break
+    assert app.matches_golden(output)
+
+
+def test_golden_is_not_rejected(app):
+    assert app.acceptance_check(list(app.golden.output))

@@ -1,0 +1,82 @@
+"""Golden-run properties of every benchmark application."""
+
+import pytest
+
+from repro.apps import APP_CLASSES, app_names
+
+
+def test_suite_composition():
+    assert len(APP_CLASSES) == 6
+    assert app_names() == ["lulesh", "clamr", "hpl", "comd", "snap", "pennant"]
+    assert app_names(iterative_only=True) == [
+        "lulesh",
+        "clamr",
+        "comd",
+        "snap",
+        "pennant",
+    ]
+
+
+def test_hpl_is_the_only_direct_method(suite):
+    assert not suite["hpl"].iterative
+    assert all(app.iterative for name, app in suite.items() if name != "hpl")
+
+
+def test_goldens_accept_and_match(suite):
+    for app in suite.values():
+        output = list(app.golden.output)
+        assert app.acceptance_check(output), app.name
+        assert app.matches_golden(output), app.name
+
+
+def test_golden_exit_code_zero(suite):
+    for app in suite.values():
+        assert app.golden.exit_code == 0, app.name
+
+
+def test_golden_sizes_in_range(suite):
+    """Dynamic instruction counts comparable across the suite (Table 2)."""
+    for app in suite.values():
+        assert 50_000 <= app.golden.instret <= 2_000_000, app.name
+
+
+def test_golden_deterministic(suite):
+    for app in suite.values():
+        process = app.load()
+        result = process.run(app.max_steps)
+        assert result.reason == "exited"
+        assert tuple(process.output) == app.golden.output, app.name
+        assert process.cpu.instret == app.golden.instret, app.name
+
+
+def test_max_steps_exceeds_golden(suite):
+    for app in suite.values():
+        assert app.max_steps > app.golden.instret * 2
+
+
+def test_describe(suite):
+    for app in suite.values():
+        text = app.describe()
+        assert app.name in text and str(app.golden.instret) in text
+
+
+def test_domains_match_table2(suite):
+    assert suite["lulesh"].domain == "Hydrodynamics"
+    assert suite["clamr"].domain == "Adaptive mesh refinement"
+    assert suite["hpl"].domain == "Dense linear solver"
+    assert suite["comd"].domain == "Classical molecular dynamics"
+    assert suite["snap"].domain == "Discrete ordinates transport"
+    assert suite["pennant"].domain == "Unstructured mesh physics"
+
+
+def test_all_functions_discovered(suite):
+    """Static analysis sees every compiled function with a frame."""
+    for app in suite.values():
+        names = {f.name for f in app.functions.functions}
+        assert "main" in names and "_start" in names
+
+
+def test_sdc_slice_nonempty(suite):
+    for app in suite.values():
+        data = app.sdc_slice(list(app.golden.output))
+        assert len(data) >= 10, app.name

@@ -1,0 +1,28 @@
+"""App registry."""
+
+import pytest
+
+from repro.apps import all_apps, make_app
+
+
+def test_make_app_by_name():
+    app = make_app("hpl")
+    assert app.name == "hpl"
+
+
+def test_make_app_unknown():
+    with pytest.raises(KeyError, match="unknown app"):
+        make_app("doom")
+
+
+def test_all_apps_fresh_instances():
+    a = all_apps()
+    b = all_apps()
+    assert [x.name for x in a] == [x.name for x in b]
+    assert all(x is not y for x, y in zip(a, b))
+
+
+def test_all_apps_iterative_filter():
+    names = [a.name for a in all_apps(iterative_only=True)]
+    assert "hpl" not in names
+    assert len(names) == 5

@@ -1,0 +1,55 @@
+"""LetGo configuration variants."""
+
+from repro.core import LETGO_B, LETGO_E, LETGO_H1, LETGO_H2, VARIANTS, LetGoConfig
+from repro.machine import LETGO_DEFAULT_SIGNALS, Signal
+
+
+def test_letgo_b_has_no_heuristics():
+    assert not LETGO_B.heuristic1
+    assert not LETGO_B.heuristic2
+
+
+def test_letgo_e_has_both():
+    assert LETGO_E.heuristic1 and LETGO_E.heuristic2
+
+
+def test_ablation_variants():
+    assert LETGO_H1.heuristic1 and not LETGO_H1.heuristic2
+    assert LETGO_H2.heuristic2 and not LETGO_H2.heuristic1
+
+
+def test_default_signals_match_table1():
+    for config in VARIANTS.values():
+        assert config.handled_signals == LETGO_DEFAULT_SIGNALS
+
+
+def test_one_intervention_default():
+    assert LETGO_E.max_interventions == 1
+
+
+def test_default_fill_is_zero():
+    assert LETGO_E.fill_int == 0
+    assert LETGO_E.fill_float == 0.0
+
+
+def test_describe():
+    text = LETGO_E.describe()
+    assert "LetGo-E" in text and "H1=on" in text and "H2=on" in text
+    assert "SIGSEGV" in text
+
+
+def test_custom_config():
+    config = LetGoConfig(
+        name="custom",
+        heuristic1=True,
+        heuristic2=False,
+        fill_int=7,
+        handled_signals=frozenset({Signal.SIGSEGV}),
+        max_interventions=3,
+    )
+    assert config.fill_int == 7
+    assert Signal.SIGABRT not in config.handled_signals
+
+
+def test_variants_registry():
+    assert set(VARIANTS) == {"LetGo-B", "LetGo-E", "LetGo-H1", "LetGo-H2"}

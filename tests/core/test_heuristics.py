@@ -1,0 +1,183 @@
+"""Heuristics I and II: direct unit tests on synthetic traps."""
+
+import pytest
+
+from repro.analysis import FunctionTable
+from repro.core.heuristics import (
+    HeuristicReport,
+    apply_heuristic1,
+    apply_heuristic2,
+)
+from repro.isa import STACK_LIMIT, STACK_TOP, Instr, Op, assemble
+from repro.isa.registers import BP, SP
+from repro.machine import Process, Signal, Trap
+
+FRAME = 32
+
+ASM = f"""
+.text
+.entry main
+.func main
+main:
+    push bp
+    mov bp, sp
+    subi sp, sp, #{FRAME}
+    ld r1, [bp - 8]
+    st [bp - 16], r1
+    fld f1, [bp - 24]
+    pop r2
+    addi sp, sp, #{FRAME}
+    pop bp
+    ret
+"""
+
+
+@pytest.fixture
+def env():
+    program = assemble(ASM)
+    process = Process.load(program)
+    # simulate being inside main after the prologue
+    process.cpu.iregs[SP] = STACK_TOP - 64 - FRAME
+    process.cpu.iregs[BP] = STACK_TOP - 64
+    return process, FunctionTable(program)
+
+
+def _trap_at(process, pc, signal=Signal.SIGSEGV):
+    return Trap(signal, pc=pc, instr=process.program.instrs[pc], detail="test")
+
+
+# -- Heuristic I -----------------------------------------------------------
+
+
+def test_h1_fills_int_load(env):
+    process, _ = env
+    process.cpu.iregs[1] = 999
+    report = HeuristicReport()
+    apply_heuristic1(process, _trap_at(process, 3), 0, 0.0, report)
+    assert report.h1_fired
+    assert process.cpu.iregs[1] == 0
+    assert any(a.kind == "fill-load" for a in report.actions)
+
+
+def test_h1_fill_value_configurable(env):
+    process, _ = env
+    report = HeuristicReport()
+    apply_heuristic1(process, _trap_at(process, 3), -7, 0.0, report)
+    assert process.cpu.iregs[1] == -7
+
+
+def test_h1_fills_float_load(env):
+    process, _ = env
+    process.cpu.fregs[1] = 9.9
+    report = HeuristicReport()
+    apply_heuristic1(process, _trap_at(process, 5), 0, 1.25, report)
+    assert process.cpu.fregs[1] == 1.25
+
+
+def test_h1_store_untouched(env):
+    process, _ = env
+    before = dict(process.memory.written_cells())
+    report = HeuristicReport()
+    apply_heuristic1(process, _trap_at(process, 4), 0, 0.0, report)
+    assert report.h1_fired
+    assert process.memory.written_cells() == before
+    assert any(a.kind == "skip-store" for a in report.actions)
+
+
+def test_h1_never_zeroes_frame_registers(env):
+    process, _ = env
+    bp_before = process.cpu.iregs[BP]
+    report = HeuristicReport()
+    # pc 8 is "pop bp": a load whose destination is bp
+    apply_heuristic1(process, _trap_at(process, 8), 0, 0.0, report)
+    assert process.cpu.iregs[BP] == bp_before
+    assert any(a.kind == "keep-frame-reg" for a in report.actions)
+
+
+def test_h1_ignores_alu_instruction(env):
+    process, _ = env
+    report = HeuristicReport()
+    apply_heuristic1(process, _trap_at(process, 7), 0, 0.0, report)
+    # pc 7 is addi: neither load nor store
+    assert not report.h1_fired
+
+
+def test_h1_fetch_fault_noop(env):
+    process, _ = env
+    report = HeuristicReport()
+    trap = Trap(Signal.SIGSEGV, pc=10**6, instr=None)
+    apply_heuristic1(process, trap, 0, 0.0, report)
+    assert not report.h1_fired and not report.actions
+
+
+# -- Heuristic II -----------------------------------------------------------
+
+
+def test_h2_plausible_pair_untouched(env):
+    process, functions = env
+    sp, bp = process.cpu.iregs[SP], process.cpu.iregs[BP]
+    report = HeuristicReport()
+    apply_heuristic2(process, _trap_at(process, 3), functions, 4096, report)
+    assert not report.h2_fired
+    assert (process.cpu.iregs[SP], process.cpu.iregs[BP]) == (sp, bp)
+
+
+def test_h2_repairs_corrupt_bp(env):
+    process, functions = env
+    process.cpu.iregs[BP] = 0x40000000000  # wild
+    report = HeuristicReport()
+    apply_heuristic2(process, _trap_at(process, 3), functions, 4096, report)
+    assert report.h2_fired
+    assert process.cpu.iregs[BP] == process.cpu.iregs[SP] + FRAME
+    assert any(a.kind == "fix-bp" for a in report.actions)
+
+
+def test_h2_repairs_corrupt_sp(env):
+    process, functions = env
+    process.cpu.iregs[SP] = -12345
+    report = HeuristicReport()
+    apply_heuristic2(process, _trap_at(process, 6), functions, 4096, report)
+    assert report.h2_fired
+    assert process.cpu.iregs[SP] == process.cpu.iregs[BP] - FRAME
+    assert any(a.kind == "fix-sp" for a in report.actions)
+
+
+def test_h2_blames_used_register_when_both_in_stack(env):
+    process, functions = env
+    # both in the stack segment but relationship broken: bp far below sp
+    process.cpu.iregs[BP] = STACK_LIMIT + 8
+    process.cpu.iregs[SP] = STACK_TOP - 8
+    report = HeuristicReport()
+    # faulting instruction at pc 3 uses bp -> bp gets recomputed
+    apply_heuristic2(process, _trap_at(process, 3), functions, 4096, report)
+    assert report.h2_fired
+    assert process.cpu.iregs[BP] == process.cpu.iregs[SP] + FRAME
+
+
+def test_h2_ignores_non_frame_instruction(env):
+    process, functions = env
+    process.cpu.iregs[BP] = 0x40000000000
+    report = HeuristicReport()
+    # ADDI does not address memory through sp/bp... use a synthetic LD via r3
+    trap = Trap(
+        Signal.SIGSEGV, pc=3, instr=Instr(Op.LD, rd=1, ra=3, imm=0), detail="x"
+    )
+    apply_heuristic2(process, trap, functions, 4096, report)
+    assert not report.h2_fired
+
+
+def test_h2_slack_allows_pushes(env):
+    process, functions = env
+    # pushes move sp down: bp - sp = FRAME + 24 must stay plausible
+    process.cpu.iregs[SP] -= 24
+    report = HeuristicReport()
+    apply_heuristic2(process, _trap_at(process, 3), functions, 4096, report)
+    assert not report.h2_fired
+
+
+def test_h2_fetch_fault_noop(env):
+    process, functions = env
+    report = HeuristicReport()
+    trap = Trap(Signal.SIGSEGV, pc=10**6, instr=None)
+    apply_heuristic2(process, trap, functions, 4096, report)
+    assert not report.h2_fired

@@ -1,0 +1,63 @@
+"""Modifier: repair records and PC advancement."""
+
+from repro.analysis import FunctionTable
+from repro.core import LETGO_B, LETGO_E, Modifier
+from repro.machine import DebugSession, Process, Signal, Trap
+from repro.isa import assemble
+
+ASM = """
+.text
+.entry main
+.func main
+main:
+    push bp
+    mov bp, sp
+    subi sp, sp, #16
+    movi r1, #0
+    ld r2, [r1 + 0]
+    halt
+"""
+
+
+def _stopped_session():
+    program = assemble(ASM)
+    process = Process.load(program)
+    session = DebugSession(process)
+    event = session.cont(100)
+    assert event.trap is not None
+    return session, event.trap, FunctionTable(program)
+
+
+def test_repair_advances_pc():
+    session, trap, functions = _stopped_session()
+    record = Modifier(LETGO_E, functions).repair(session, trap)
+    assert session.read_reg("pc") == trap.pc + 1
+    assert record.pc == trap.pc
+    assert record.signal is Signal.SIGSEGV
+
+
+def test_repair_records_instruction_text():
+    session, trap, functions = _stopped_session()
+    record = Modifier(LETGO_E, functions).repair(session, trap)
+    assert "ld r2" in record.instr_text
+
+
+def test_letgo_b_repair_no_actions():
+    session, trap, functions = _stopped_session()
+    record = Modifier(LETGO_B, functions).repair(session, trap)
+    assert not record.actions
+    assert not record.h1_fired and not record.h2_fired
+
+
+def test_fetch_fault_repair():
+    session, trap, functions = _stopped_session()
+    fetch = Trap(Signal.SIGSEGV, pc=424242, instr=None, detail="fetch")
+    record = Modifier(LETGO_E, functions).repair(session, fetch)
+    assert session.read_reg("pc") == 424243
+    assert record.instr_text == "<fetch fault>"
+
+
+def test_repair_timed():
+    session, trap, functions = _stopped_session()
+    record = Modifier(LETGO_E, functions).repair(session, trap)
+    assert record.repair_seconds >= 0.0

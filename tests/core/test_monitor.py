@@ -1,0 +1,41 @@
+"""Monitor: Table-1 signal dispositions."""
+
+from repro.core import LETGO_E, Monitor
+from repro.machine import Signal, Trap
+
+
+def test_intercepts_crash_signals():
+    monitor = Monitor(LETGO_E)
+    assert monitor.intercepts(Signal.SIGSEGV)
+    assert monitor.intercepts(Signal.SIGBUS)
+    assert monitor.intercepts(Signal.SIGABRT)
+    assert not monitor.intercepts(Signal.SIGFPE)
+
+
+def test_table1_rows():
+    monitor = Monitor(LETGO_E)
+    rows = {p.signal: p for p in monitor.signal_table()}
+    segv = rows[Signal.SIGSEGV]
+    assert segv.stop and not segv.pass_to_program
+    assert segv.row() == ("SIGSEGV", "Yes", "No", "Segfault")
+    bus = rows[Signal.SIGBUS]
+    assert bus.row() == ("SIGBUS", "Yes", "No", "Bus error")
+    abrt = rows[Signal.SIGABRT]
+    assert abrt.row() == ("SIGABRT", "Yes", "No", "Aborted")
+    fpe = rows[Signal.SIGFPE]
+    assert not fpe.stop and fpe.pass_to_program
+
+
+def test_classify():
+    monitor = Monitor(LETGO_E)
+    segv = Trap(Signal.SIGSEGV, pc=0)
+    fpe = Trap(Signal.SIGFPE, pc=0)
+    assert monitor.classify(segv) == "intercept"
+    assert monitor.classify(fpe) == "default"
+
+
+def test_attach_returns_session(demo_program):
+    from repro.machine import DebugSession, Process
+
+    session = Monitor(LETGO_E).attach(Process.load(demo_program))
+    assert isinstance(session, DebugSession)

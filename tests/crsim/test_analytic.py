@@ -1,0 +1,73 @@
+"""Closed-form approximations vs the simulation ground truth."""
+
+import math
+
+import pytest
+
+from repro.crsim import PAPER_APP_PARAMS, SystemParams, simulate_letgo, simulate_standard
+from repro.crsim.analytic import (
+    daly_optimal_interval,
+    expected_efficiency_letgo,
+    expected_efficiency_standard,
+)
+from repro.errors import SimulationError
+
+MONTH = 30 * 24 * 3600.0
+
+
+def test_daly_reduces_to_young_for_small_cost():
+    t_chk, mtbf = 12.0, 1e7
+    young = math.sqrt(2 * t_chk * mtbf)
+    daly = daly_optimal_interval(t_chk, mtbf)
+    assert abs(daly - young) / young < 0.01
+
+
+def test_daly_below_young_for_large_cost():
+    t_chk, mtbf = 1200.0, 43200.0
+    young = math.sqrt(2 * t_chk * mtbf)
+    assert daly_optimal_interval(t_chk, mtbf) < young
+
+
+def test_daly_degenerate_regime():
+    assert daly_optimal_interval(1000.0, 400.0) == 400.0
+
+
+def test_daly_validation():
+    with pytest.raises(SimulationError):
+        daly_optimal_interval(0.0, 100.0)
+
+
+@pytest.mark.parametrize("t_chk", [12.0, 120.0, 1200.0])
+@pytest.mark.parametrize("app_name", ["lulesh", "snap", "pennant"])
+def test_formula_tracks_simulation_standard(t_chk, app_name):
+    system = SystemParams(t_chk=t_chk, mtbfaults=21600.0)
+    app = PAPER_APP_PARAMS[app_name]
+    predicted = expected_efficiency_standard(system, app)
+    simulated = simulate_standard(system, app, needed=MONTH, seed=3).efficiency
+    assert abs(predicted - simulated) < 0.08, (predicted, simulated)
+
+
+@pytest.mark.parametrize("app_name", ["lulesh", "clamr"])
+def test_formula_tracks_simulation_letgo(app_name):
+    system = SystemParams(t_chk=120.0, mtbfaults=21600.0)
+    app = PAPER_APP_PARAMS[app_name]
+    predicted = expected_efficiency_letgo(system, app)
+    simulated = simulate_letgo(system, app, needed=MONTH, seed=3).efficiency
+    assert abs(predicted - simulated) < 0.08, (predicted, simulated)
+
+
+def test_formula_predicts_letgo_gain_direction():
+    system = SystemParams(t_chk=1200.0, mtbfaults=21600.0)
+    app = PAPER_APP_PARAMS["lulesh"]
+    assert expected_efficiency_letgo(system, app) > expected_efficiency_standard(
+        system, app
+    )
+
+
+def test_efficiencies_bounded():
+    for t_chk in (12.0, 1200.0):
+        system = SystemParams(t_chk=t_chk, mtbfaults=21600.0)
+        for app in PAPER_APP_PARAMS.values():
+            for fn in (expected_efficiency_standard, expected_efficiency_letgo):
+                value = fn(system, app)
+                assert 0.0 < value < 1.0

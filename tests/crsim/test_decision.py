@@ -1,0 +1,87 @@
+"""Operator decision support (paper Section 8 discussion)."""
+
+import pytest
+
+from repro.crsim import PAPER_APP_PARAMS, SystemParams
+from repro.crsim.decision import GainPoint, gain_surface, recommend
+
+MONTH = 30 * 24 * 3600.0
+SYSTEM = SystemParams(t_chk=1200.0, mtbfaults=21600.0)
+
+
+def test_gain_surface_grid():
+    points = gain_surface(
+        PAPER_APP_PARAMS["lulesh"],
+        t_chk_values=(12.0, 1200.0),
+        mtbfaults_values=(5400.0, 86400.0),
+        needed=MONTH,
+    )
+    assert len(points) == 4
+    assert all(isinstance(p, GainPoint) for p in points)
+    by_key = {(p.t_chk, p.mtbfaults): p for p in points}
+    # gain grows with checkpoint cost and with fault rate
+    assert by_key[(1200.0, 5400.0)].gain > by_key[(12.0, 86400.0)].gain
+
+
+def test_recommend_enables_for_iterative_app():
+    rec = recommend(
+        PAPER_APP_PARAMS["lulesh"],
+        SYSTEM,
+        sdc_fraction_without=0.0075,
+        sdc_fraction_with=0.0166,
+        needed=MONTH,
+    )
+    assert rec.use_letgo
+    assert rec.expected_gain > 0.005
+    assert "ENABLE" in rec.summary()
+
+
+def test_recommend_rejects_on_sdc_budget():
+    rec = recommend(
+        PAPER_APP_PARAMS["lulesh"],
+        SYSTEM,
+        sdc_fraction_without=0.01,
+        sdc_fraction_with=0.10,     # +9 points of silent corruption
+        max_sdc_increase=0.02,
+        needed=MONTH,
+    )
+    assert not rec.use_letgo
+    assert any("SDC increase" in r for r in rec.reasons)
+
+
+def test_recommend_rejects_direct_method():
+    rec = recommend(
+        PAPER_APP_PARAMS["hpl"],
+        SYSTEM,
+        sdc_fraction_without=0.01,
+        sdc_fraction_with=0.03,
+        needed=MONTH,
+    )
+    assert not rec.use_letgo
+    assert any("wasted work" in r or "below" in r for r in rec.reasons)
+
+
+def test_recommend_rejects_tiny_gain():
+    calm = SystemParams(t_chk=12.0, mtbfaults=86400.0 * 10)
+    rec = recommend(
+        PAPER_APP_PARAMS["snap"],
+        calm,
+        sdc_fraction_without=0.0,
+        sdc_fraction_with=0.0,
+        min_gain=0.01,
+        needed=MONTH,
+    )
+    assert not rec.use_letgo
+
+
+def test_summary_readable():
+    rec = recommend(
+        PAPER_APP_PARAMS["pennant"],
+        SYSTEM,
+        sdc_fraction_without=0.02,
+        sdc_fraction_with=0.048,
+        needed=MONTH,
+    )
+    text = rec.summary()
+    assert "SDC exposure" in text
+    assert text.count("-") >= 2  # reasons listed

@@ -1,0 +1,132 @@
+"""State-machine simulations: invariants and limiting behaviour."""
+
+import math
+
+import pytest
+
+from repro.crsim import (
+    AppParams,
+    SystemParams,
+    simulate_letgo,
+    simulate_standard,
+    young_interval,
+)
+from repro.errors import SimulationError
+
+SYSTEM = SystemParams(t_chk=120.0, mtbfaults=21600.0)
+APP = AppParams(name="t", p_crash=0.5, p_v=0.95, p_v_prime=0.9, p_letgo=0.6)
+NEEDED = 30 * 24 * 3600.0  # one month of useful work: fast but stable
+
+
+@pytest.mark.parametrize("simulate", [simulate_standard, simulate_letgo])
+def test_useful_work_reached(simulate):
+    result = simulate(SYSTEM, APP, needed=NEEDED, seed=1)
+    assert result.useful >= NEEDED
+    assert result.cost >= result.useful
+    assert 0.0 < result.efficiency <= 1.0
+
+
+@pytest.mark.parametrize("simulate", [simulate_standard, simulate_letgo])
+def test_deterministic_per_seed(simulate):
+    a = simulate(SYSTEM, APP, needed=NEEDED, seed=42)
+    b = simulate(SYSTEM, APP, needed=NEEDED, seed=42)
+    assert a.efficiency == b.efficiency
+    assert a.checkpoints == b.checkpoints
+
+
+def test_seeds_differ():
+    a = simulate_standard(SYSTEM, APP, needed=NEEDED, seed=1)
+    b = simulate_standard(SYSTEM, APP, needed=NEEDED, seed=2)
+    assert a.efficiency != b.efficiency
+
+
+def test_interval_is_youngs_by_default():
+    result = simulate_standard(SYSTEM, APP, needed=NEEDED, seed=1)
+    expected = young_interval(SYSTEM.t_chk, APP.mtbf_failures(SYSTEM.mtbfaults))
+    assert math.isclose(result.interval, expected)
+
+
+def test_letgo_uses_longer_interval():
+    std = simulate_standard(SYSTEM, APP, needed=NEEDED, seed=1)
+    lg = simulate_letgo(SYSTEM, APP, needed=NEEDED, seed=1)
+    assert lg.interval > std.interval
+
+
+def test_letgo_beats_standard_on_average():
+    std = [simulate_standard(SYSTEM, APP, needed=NEEDED, seed=s).efficiency for s in range(5)]
+    lg = [simulate_letgo(SYSTEM, APP, needed=NEEDED, seed=s).efficiency for s in range(5)]
+    assert sum(lg) / 5 > sum(std) / 5
+
+
+def test_no_faults_limit_efficiency():
+    """With essentially no faults, efficiency -> T / (T + T_v + T_chk + T_sync)."""
+    quiet = SystemParams(t_chk=120.0, mtbfaults=1e12)
+    result = simulate_standard(quiet, APP, needed=NEEDED, seed=1)
+    T = result.interval
+    expected = T / (T + quiet.t_v + quiet.t_chk + quiet.t_sync)
+    assert math.isclose(result.efficiency, expected, rel_tol=1e-3)
+    assert result.crashes == 0
+    assert result.verify_failures == 0
+
+
+def test_higher_fault_rate_lower_efficiency():
+    calm = simulate_standard(
+        SystemParams(t_chk=120.0, mtbfaults=400_000.0), APP, needed=NEEDED, seed=3
+    )
+    stormy = simulate_standard(
+        SystemParams(t_chk=120.0, mtbfaults=4_000.0), APP, needed=NEEDED, seed=3
+    )
+    assert stormy.efficiency < calm.efficiency
+
+
+def test_bigger_checkpoints_lower_efficiency():
+    small = simulate_standard(
+        SystemParams(t_chk=12.0, mtbfaults=21600.0), APP, needed=NEEDED, seed=3
+    )
+    large = simulate_standard(
+        SystemParams(t_chk=1200.0, mtbfaults=21600.0), APP, needed=NEEDED, seed=3
+    )
+    assert large.efficiency < small.efficiency
+
+
+def test_letgo_gain_grows_with_checkpoint_cost():
+    def gain(t_chk):
+        system = SystemParams(t_chk=t_chk, mtbfaults=21600.0)
+        std = [simulate_standard(system, APP, needed=NEEDED, seed=s).efficiency for s in range(3)]
+        lg = [simulate_letgo(system, APP, needed=NEEDED, seed=s).efficiency for s in range(3)]
+        return sum(lg) / 3 - sum(std) / 3
+
+    assert gain(1200.0) > gain(12.0)
+
+
+def test_letgo_event_counters():
+    result = simulate_letgo(SYSTEM, APP, needed=NEEDED, seed=1)
+    assert result.letgo_continues > 0
+    assert result.letgo_continues + result.letgo_failures > 0
+    assert result.checkpoints > 0
+
+
+def test_zero_continuability_matches_standard_behaviour():
+    """p_letgo=0: every crash rolls back (plus the wasted T_letgo)."""
+    never = AppParams(name="n", p_crash=0.5, p_v=0.95, p_v_prime=0.9, p_letgo=0.0)
+    lg = simulate_letgo(SYSTEM, never, needed=NEEDED, seed=5)
+    std = simulate_standard(SYSTEM, never, needed=NEEDED, seed=5)
+    assert lg.letgo_continues == 0
+    # efficiencies are close; LetGo slightly worse due to T_letgo overhead
+    assert abs(lg.efficiency - std.efficiency) < 0.05
+
+
+def test_explicit_interval_override():
+    result = simulate_standard(SYSTEM, APP, needed=NEEDED, seed=1, interval=500.0)
+    assert result.interval == 500.0
+
+
+def test_bad_needed_rejected():
+    with pytest.raises(SimulationError):
+        simulate_standard(SYSTEM, APP, needed=0.0)
+
+
+def test_summary():
+    result = simulate_letgo(SYSTEM, APP, needed=NEEDED, seed=1)
+    text = result.summary()
+    assert "eff=" in text and "letgo=" in text

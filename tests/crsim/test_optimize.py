@@ -1,0 +1,52 @@
+"""Interval optimisation vs Young's formula."""
+
+import pytest
+
+from repro.crsim import PAPER_APP_PARAMS, SystemParams
+from repro.crsim.optimize import optimize_interval
+from repro.errors import SimulationError
+
+MONTH = 30 * 24 * 3600.0
+SYSTEM = SystemParams(t_chk=120.0, mtbfaults=21600.0)
+
+
+@pytest.fixture(scope="module")
+def lulesh_opt():
+    return optimize_interval(
+        SYSTEM, PAPER_APP_PARAMS["lulesh"], needed=MONTH, seeds=(1, 2)
+    )
+
+
+def test_optimum_at_least_young(lulesh_opt):
+    assert lulesh_opt.improvement >= -0.01  # search never loses to Young
+
+
+def test_young_near_optimal_in_its_regime(lulesh_opt):
+    """High-P_v apps: Young is within a couple points of the optimum."""
+    assert lulesh_opt.improvement < 0.05
+    assert 0.1 < lulesh_opt.ratio_to_young < 10.0
+
+
+def test_letgo_variant_runs():
+    result = optimize_interval(
+        SYSTEM, PAPER_APP_PARAMS["clamr"], letgo=True, needed=MONTH, seeds=(1,)
+    )
+    assert 0.0 < result.efficiency <= 1.0
+    assert result.interval > 0
+
+
+def test_low_pv_prefers_shorter_intervals():
+    """HPL's failing verification: the optimum sits below Young's choice."""
+    result = optimize_interval(
+        SystemParams(t_chk=1200.0, mtbfaults=21600.0),
+        PAPER_APP_PARAMS["hpl"],
+        needed=MONTH,
+        seeds=(1, 2),
+    )
+    assert result.ratio_to_young < 1.0
+    assert result.improvement > 0.0
+
+
+def test_bad_span():
+    with pytest.raises(SimulationError):
+        optimize_interval(SYSTEM, PAPER_APP_PARAMS["snap"], span=0.5)

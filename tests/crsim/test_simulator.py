@@ -1,0 +1,64 @@
+"""High-level efficiency comparisons."""
+
+import math
+
+from repro.crsim import (
+    PAPER_APP_PARAMS,
+    SystemParams,
+    compare_efficiency,
+    mean_efficiency,
+    simulate_standard,
+    single_runs,
+)
+
+MONTH = 30 * 24 * 3600.0
+SYSTEM = SystemParams(t_chk=120.0, mtbfaults=21600.0)
+
+
+def test_compare_structure():
+    comparison = compare_efficiency(
+        SYSTEM, PAPER_APP_PARAMS["lulesh"], needed=MONTH, seeds=[1, 2]
+    )
+    assert comparison.app == "lulesh"
+    assert 0.0 < comparison.standard < 1.0
+    assert 0.0 < comparison.letgo < 1.0
+    assert comparison.gain_absolute == comparison.letgo - comparison.standard
+    assert math.isclose(
+        comparison.gain_relative, comparison.letgo / comparison.standard
+    )
+    assert len(comparison.row()) == 7
+
+
+def test_letgo_gains_for_paper_apps():
+    for name in ("lulesh", "clamr", "snap", "comd", "pennant"):
+        comparison = compare_efficiency(
+            SYSTEM, PAPER_APP_PARAMS[name], needed=MONTH, seeds=[1, 2]
+        )
+        assert comparison.gain_absolute > 0.0, name
+
+
+def test_hpl_gain_marginal():
+    """Section 8: LetGo only marginally improves HPL."""
+    comparison = compare_efficiency(
+        SYSTEM, PAPER_APP_PARAMS["hpl"], needed=MONTH, seeds=[1, 2, 3]
+    )
+    best_iterative = compare_efficiency(
+        SYSTEM, PAPER_APP_PARAMS["lulesh"], needed=MONTH, seeds=[1, 2, 3]
+    )
+    assert comparison.gain_absolute < best_iterative.gain_absolute
+
+
+def test_mean_efficiency_averages():
+    single = mean_efficiency(
+        simulate_standard, SYSTEM, PAPER_APP_PARAMS["snap"], MONTH, [7]
+    )
+    expected = simulate_standard(
+        SYSTEM, PAPER_APP_PARAMS["snap"], needed=MONTH, seed=7
+    ).efficiency
+    assert math.isclose(single, expected)
+
+
+def test_single_runs_pair():
+    std, lg = single_runs(SYSTEM, PAPER_APP_PARAMS["comd"], needed=MONTH, seed=9)
+    assert std.useful >= MONTH and lg.useful >= MONTH
+    assert lg.letgo_continues >= 0

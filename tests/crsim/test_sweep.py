@@ -1,0 +1,61 @@
+"""Figure-7/8 sweeps and the interval ablation."""
+
+from repro.crsim import (
+    FIG8_NODE_COUNTS,
+    PAPER_APP_PARAMS,
+    SystemParams,
+    sweep_checkpoint_overhead,
+    sweep_interval_multiplier,
+    sweep_system_scale,
+)
+
+MONTH = 30 * 24 * 3600.0
+
+
+def test_fig7_shape_gain_grows_with_tchk():
+    comparisons = sweep_checkpoint_overhead(
+        PAPER_APP_PARAMS["lulesh"], needed=MONTH, seeds=[1, 2]
+    )
+    assert [c.t_chk for c in comparisons] == [12.0, 120.0, 1200.0]
+    gains = [c.gain_absolute for c in comparisons]
+    assert gains[0] < gains[-1]
+    efficiencies = [c.standard for c in comparisons]
+    assert efficiencies[0] > efficiencies[-1]  # absolute efficiency drops
+
+
+def test_fig8_shape_scaling():
+    points = sweep_system_scale(
+        PAPER_APP_PARAMS["clamr"], t_chk=120.0, needed=MONTH, seeds=[1, 2]
+    )
+    nodes = [n for n, _ in points]
+    assert nodes == list(FIG8_NODE_COUNTS)
+    # efficiency decreases with scale for both schemes
+    standard = [c.standard for _, c in points]
+    letgo = [c.letgo for _, c in points]
+    assert standard[0] > standard[-1]
+    assert letgo[0] > letgo[-1]
+    # LetGo degrades more slowly (paper: "rate of decrease is lower")
+    assert (standard[0] - standard[-1]) > (letgo[0] - letgo[-1])
+
+
+def test_fig8_mtbf_scales_inversely():
+    points = sweep_system_scale(
+        PAPER_APP_PARAMS["pennant"], t_chk=12.0, needed=MONTH, seeds=[1]
+    )
+    assert points[0][1].mtbfaults == 21600.0
+    assert points[1][1].mtbfaults == 10800.0
+    assert points[3][1].mtbfaults == 5400.0
+
+
+def test_interval_ablation_youngs_near_optimal():
+    system = SystemParams(t_chk=120.0, mtbfaults=21600.0)
+    points = sweep_interval_multiplier(
+        PAPER_APP_PARAMS["lulesh"], system, needed=MONTH, seed=2
+    )
+    by_mult = {p.multiplier: p for p in points}
+    optimum = by_mult[1.0].standard
+    # Young's choice within a small margin of the best sampled multiplier
+    best = max(p.standard for p in points)
+    assert optimum >= best - 0.02
+    # extremes are worse
+    assert by_mult[0.25].standard < optimum + 1e-9 or by_mult[4.0].standard < optimum + 1e-9

@@ -1,0 +1,55 @@
+"""Outcome taxonomy invariants (Figure 4)."""
+
+from repro.faultinject import Outcome, classify_finished
+
+
+def test_crash_origin_partition():
+    crash = {o for o in Outcome if o.crash_origin}
+    assert crash == {
+        Outcome.CRASH,
+        Outcome.DOUBLE_CRASH,
+        Outcome.CRASH_UNHANDLED,
+        Outcome.C_BENIGN,
+        Outcome.C_SDC,
+        Outcome.C_DETECTED,
+        Outcome.C_HANG,
+    }
+
+
+def test_continued_subset_of_crash_origin():
+    for outcome in Outcome:
+        if outcome.continued:
+            assert outcome.crash_origin
+
+
+def test_sdc_flags():
+    assert Outcome.SDC.is_sdc and Outcome.C_SDC.is_sdc
+    assert not Outcome.BENIGN.is_sdc
+    assert not Outcome.DETECTED.is_sdc
+
+
+def test_double_crash_folding():
+    folded = {o for o in Outcome if o.folds_to_double_crash}
+    assert folded == {
+        Outcome.DOUBLE_CRASH,
+        Outcome.CRASH_UNHANDLED,
+        Outcome.C_HANG,
+    }
+
+
+def test_classify_finished_baseline():
+    assert classify_finished(True, True, False) is Outcome.BENIGN
+    assert classify_finished(True, False, False) is Outcome.SDC
+    assert classify_finished(False, True, False) is Outcome.DETECTED
+    assert classify_finished(False, False, False) is Outcome.DETECTED
+
+
+def test_classify_finished_continued():
+    assert classify_finished(True, True, True) is Outcome.C_BENIGN
+    assert classify_finished(True, False, True) is Outcome.C_SDC
+    assert classify_finished(False, False, True) is Outcome.C_DETECTED
+
+
+def test_hang_is_not_crash_origin():
+    assert not Outcome.HANG.crash_origin
+    assert Outcome.C_HANG.crash_origin  # a crash happened first

@@ -1,0 +1,85 @@
+"""End-to-end: injection campaigns reproduce the paper's qualitative claims.
+
+Campaign sizes here are small (CI budget); the benches run the full-size
+versions.  The assertions target the paper's *shape*, with slack for the
+wide error bars at this N.
+"""
+
+import pytest
+
+from repro.core import LETGO_B, LETGO_E
+from repro.faultinject import Outcome, run_paired_campaigns
+
+N = 40
+SEED = 2026
+
+
+@pytest.fixture(scope="module")
+def pennant_paired(pennant_app):
+    return run_paired_campaigns(
+        pennant_app, N, SEED, configs=[None, LETGO_B, LETGO_E]
+    )
+
+
+@pytest.fixture(scope="module")
+def hpl_paired(hpl_app):
+    return run_paired_campaigns(hpl_app, N, SEED, configs=[None, LETGO_E])
+
+
+def test_faults_sometimes_crash(pennant_paired):
+    crash_rate = pennant_paired["baseline"].crash_rate().value
+    assert 0.1 < crash_rate < 0.9
+
+
+def test_letgo_elides_majority_of_crashes(pennant_paired):
+    m = pennant_paired["LetGo-E"].metrics()
+    assert m.crash_count > 0
+    assert m.continuability.value > 0.5  # paper: 62% on average
+
+
+def test_most_continued_runs_pass_checks(pennant_paired):
+    result = pennant_paired["LetGo-E"]
+    continued = sum(c for o, c in result.counts.items() if o.continued)
+    correct_or_detected = result.counts.get(Outcome.C_BENIGN, 0) + result.counts.get(
+        Outcome.C_DETECTED, 0
+    )
+    if continued:
+        assert correct_or_detected / continued > 0.4
+
+
+def test_letgo_e_no_worse_than_b_on_continuability(pennant_paired):
+    e = pennant_paired["LetGo-E"].metrics().continuability.value
+    b = pennant_paired["LetGo-B"].metrics().continuability.value
+    assert e >= b - 0.10  # paper: E beats B by ~14% on average
+
+
+def test_sdc_rate_increase_bounded(pennant_paired):
+    base = pennant_paired["baseline"].sdc_rate().value
+    letgo = pennant_paired["LetGo-E"].sdc_rate().value
+    # SDCs grow (continuation trades confidence for progress) but stay
+    # within a few x of baseline, not catastrophic
+    assert letgo <= max(4 * base, base + 0.25)
+
+
+def test_hpl_crashes_and_continues(hpl_paired):
+    m = hpl_paired["LetGo-E"].metrics()
+    assert m.crash_count > 0
+    # Section 8: ~70% continuability for HPL
+    assert 0.3 <= m.continuability.value <= 1.0
+
+
+def test_hpl_acceptance_check_selective(hpl_paired):
+    """HPL's residual check catches most corrupted-but-finished runs."""
+    base = hpl_paired["baseline"]
+    p_v = base.estimate_p_v()
+    assert p_v < 0.98  # it is noticeably more selective than the hydro apps
+
+
+def test_double_crashes_exist_somewhere(pennant_paired, hpl_paired):
+    total_folds = 0
+    for paired in (pennant_paired, hpl_paired):
+        result = paired["LetGo-E"]
+        total_folds += sum(
+            c for o, c in result.counts.items() if o.folds_to_double_crash
+        )
+    assert total_folds > 0  # LetGo is not magic: some crashes stay fatal

@@ -1,0 +1,155 @@
+"""Assembler: syntax, symbol resolution, data layout, diagnostics."""
+
+import pytest
+
+from repro.errors import AssemblerError
+from repro.isa import DATA_BASE, Instr, Op, assemble
+from repro.isa.registers import BP, SP
+
+
+def _single(line: str, data: str = "") -> Instr:
+    src = ""
+    if data:
+        src += f".data\n{data}\n"
+    src += f".text\n.entry main\n.func main\nmain:\n    {line}\n    halt\n"
+    return assemble(src).instrs[0]
+
+
+def test_empty_and_comment_lines_ignored():
+    program = assemble(
+        "; leading comment\n\n.text\n.entry main\n.func main\nmain:\n halt ; trailing\n"
+    )
+    assert len(program.instrs) == 1
+    assert program.instrs[0].op is Op.HALT
+
+
+def test_label_same_line_as_instruction():
+    program = assemble(
+        ".text\n.entry main\n.func main\nmain: halt\n"
+    )
+    assert program.instrs[0].op is Op.HALT
+    assert program.functions["main"] == 0
+
+
+def test_mov_and_movi():
+    assert _single("mov r1, r2") == Instr(Op.MOV, rd=1, ra=2)
+    assert _single("movi r3, #-7") == Instr(Op.MOVI, rd=3, imm=-7)
+    assert _single("movi r3, #0x10") == Instr(Op.MOVI, rd=3, imm=16)
+
+
+def test_fmovi_float():
+    instr = _single("fmovi f2, #2.5")
+    assert instr.op is Op.FMOVI and instr.imm == 2.5
+
+
+def test_memory_operands():
+    assert _single("ld r1, [r2 + 16]") == Instr(Op.LD, rd=1, ra=2, imm=16)
+    assert _single("ld r1, [r2 - 8]") == Instr(Op.LD, rd=1, ra=2, imm=-8)
+    assert _single("ld r1, [r2]") == Instr(Op.LD, rd=1, ra=2, imm=0)
+    assert _single("st [bp - 8], r3") == Instr(Op.ST, rd=3, ra=BP, imm=-8)
+    assert _single("ld r1, [r2 + r3*8 + 8]") == Instr(
+        Op.LDX, rd=1, ra=2, rb=3, imm=8
+    )
+    assert _single("fstx [r2 + r4*8 + 0], f1") == Instr(
+        Op.FSTX, rd=1, ra=2, rb=4, imm=0
+    )
+
+
+def test_sp_bp_spellings():
+    assert _single("push bp") == Instr(Op.PUSH, ra=BP)
+    assert _single("mov sp, bp") == Instr(Op.MOV, rd=SP, ra=BP)
+
+
+def test_alu_three_operand():
+    assert _single("add r1, r2, r3") == Instr(Op.ADD, rd=1, ra=2, rb=3)
+    assert _single("subi sp, sp, #32") == Instr(Op.SUBI, rd=SP, ra=SP, imm=32)
+    assert _single("fmin f1, f2, f3") == Instr(Op.FMIN, rd=1, ra=2, rb=3)
+    assert _single("flt r1, f2, f3") == Instr(Op.FLT, rd=1, ra=2, rb=3)
+
+
+def test_branch_resolution():
+    program = assemble(
+        ".text\n.entry main\n.func main\nmain:\n"
+        "    movi r1, #0\n"
+        "top:\n"
+        "    addi r1, r1, #1\n"
+        "    beqz r1, top\n"
+        "    jmp end\n"
+        "end:\n"
+        "    halt\n"
+    )
+    beqz = program.instrs[2]
+    assert beqz.op is Op.BEQZ and beqz.imm == 1
+    jmp = program.instrs[3]
+    assert jmp.op is Op.JMP and jmp.imm == 4
+
+
+def test_data_layout_sequential():
+    program = assemble(
+        ".data\n"
+        "a: .space 4\n"
+        "b: .word 7, 8\n"
+        "c: .double 1.5\n"
+        ".text\n.entry main\n.func main\nmain:\n    halt\n"
+    )
+    a, b, c = (program.data_symbols[k] for k in "abc")
+    assert a.addr == DATA_BASE and a.cells == 4
+    assert b.addr == DATA_BASE + 32 and b.cells == 2
+    assert c.addr == b.addr + 16 and c.cells == 1
+    assert program.data_init[b.addr] == 7
+    assert program.data_init[b.addr + 8] == 8
+    assert program.data_cells == 7
+
+
+def test_symbol_immediate():
+    program = assemble(
+        ".data\nn: .word 3\n.text\n.entry main\n.func main\nmain:\n"
+        "    movi r1, @n\n    halt\n"
+    )
+    movi = program.instrs[0]
+    assert movi.imm == DATA_BASE
+    assert movi.sym == "n"
+
+
+def test_entry_defaults_to_main():
+    program = assemble(".text\n.func main\nmain:\n    halt\n")
+    assert program.entry == "main"
+
+
+@pytest.mark.parametrize(
+    "source,fragment",
+    [
+        (".text\n.func m\nm:\n    frobnicate r1\n", "unknown mnemonic"),
+        (".text\n.func m\nm:\n    add r1, r2\n", "expects 3"),
+        (".text\n.func m\nm:\n    jmp nowhere\n    halt\n", "undefined label"),
+        (".text\n.func m\nm:\n    movi r1, @nothing\n", "undefined data symbol"),
+        (".text\n.func m\nm:\n    ld r1, [f1 + 0]\n", "integer register"),
+        (".data\nx: .space 0\n", "positive size"),
+        (".data\n.space 4\n", "without a label"),
+        (".text\nl:\nl:\n    halt\n", "duplicate label"),
+        (".text\n.func m\nm:\n    mov r1, #5\n", "register"),
+        (".bogus\n", "unknown directive"),
+    ],
+)
+def test_errors(source, fragment):
+    with pytest.raises(AssemblerError) as info:
+        assemble(source)
+    assert fragment in str(info.value)
+
+
+def test_error_carries_line_number():
+    with pytest.raises(AssemblerError) as info:
+        assemble(".text\n.func m\nm:\n    halt\n    bogus r1\n")
+    assert info.value.line == 5
+
+
+def test_func_directive_binds_next_label():
+    program = assemble(
+        ".text\n.entry a\n.func a\na:\n    halt\n.func b\nb:\n    halt\n"
+    )
+    assert program.functions == {"a": 0, "b": 1}
+
+
+def test_data_in_text_section_rejected():
+    with pytest.raises(AssemblerError):
+        assemble(".text\nx: .word 1\n")

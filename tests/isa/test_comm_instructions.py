@@ -1,0 +1,70 @@
+"""Communication instructions: metadata, assembly, encoding round trips."""
+
+from repro.isa import Instr, Op, assemble, decode_instr, disassemble, encode_instr
+from repro.isa.registers import SP
+
+
+def test_written_regs():
+    assert Instr(Op.RANK, rd=3).written_reg() == ("r", 3)
+    assert Instr(Op.NRANKS, rd=4).written_reg() == ("r", 4)
+    assert Instr(Op.RECV, rd=5, ra=1).written_reg() == ("r", 5)
+    assert Instr(Op.FRECV, rd=6, ra=1).written_reg() == ("f", 6)
+    assert Instr(Op.SEND, ra=1, rb=2).written_reg() is None
+    assert Instr(Op.FSEND, ra=1, rb=2).written_reg() is None
+
+
+def test_read_regs():
+    assert Instr(Op.SEND, ra=1, rb=2).read_regs() == [("r", 1), ("r", 2)]
+    assert Instr(Op.FSEND, ra=1, rb=2).read_regs() == [("r", 1), ("f", 2)]
+    assert Instr(Op.RECV, rd=5, ra=3).read_regs() == [("r", 3)]
+    assert Instr(Op.FRECV, rd=5, ra=3).read_regs() == [("r", 3)]
+    assert Instr(Op.RANK, rd=1).read_regs() == []
+
+
+def test_not_memory_ops():
+    assert not Instr(Op.SEND, ra=1, rb=2).is_memory()
+    assert not Instr(Op.RECV, rd=1, ra=2).is_load()
+    assert not Instr(Op.FSEND, ra=1, rb=2).is_store()
+
+
+def test_uses_frame_regs_only_via_sp():
+    assert Instr(Op.SEND, ra=SP, rb=2).uses_frame_regs()
+    assert not Instr(Op.SEND, ra=1, rb=2).uses_frame_regs()
+
+
+def test_text_round_trips_through_assembler():
+    source = (
+        ".text\n.entry main\n.func main\nmain:\n"
+        "    rank r1\n"
+        "    nranks r2\n"
+        "    send r1, r3\n"
+        "    fsend r1, f4\n"
+        "    recv r5, r1\n"
+        "    frecv f6, r1\n"
+        "    halt\n"
+    )
+    program = assemble(source)
+    expected = [
+        Instr(Op.RANK, rd=1),
+        Instr(Op.NRANKS, rd=2),
+        Instr(Op.SEND, ra=1, rb=3),
+        Instr(Op.FSEND, ra=1, rb=4),
+        Instr(Op.RECV, rd=5, ra=1),
+        Instr(Op.FRECV, rd=6, ra=1),
+        Instr(Op.HALT),
+    ]
+    assert program.instrs == expected
+    back = assemble(disassemble(program))
+    assert back.instrs == program.instrs
+
+
+def test_binary_encoding_round_trip():
+    for instr in (
+        Instr(Op.RANK, rd=7),
+        Instr(Op.NRANKS, rd=8),
+        Instr(Op.SEND, ra=1, rb=2),
+        Instr(Op.FSEND, ra=3, rb=4),
+        Instr(Op.RECV, rd=5, ra=6),
+        Instr(Op.FRECV, rd=7, ra=8),
+    ):
+        assert decode_instr(encode_instr(instr)) == instr

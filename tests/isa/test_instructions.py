@@ -1,0 +1,153 @@
+"""Instruction metadata: classification, written/read registers, text."""
+
+import pytest
+
+from repro.isa import BP, SP
+from repro.isa.instructions import (
+    BRANCH_OPS,
+    LOAD_OPS,
+    MEMORY_OPS,
+    STORE_OPS,
+    Instr,
+    Op,
+)
+
+
+def test_load_store_partition_disjoint():
+    assert not (LOAD_OPS & STORE_OPS)
+    assert LOAD_OPS | STORE_OPS <= MEMORY_OPS
+
+
+def test_is_load_is_store():
+    assert Instr(Op.LD, rd=1, ra=2).is_load()
+    assert Instr(Op.FLDX, rd=1, ra=2, rb=3).is_load()
+    assert Instr(Op.POP, rd=1).is_load()
+    assert Instr(Op.ST, rd=1, ra=2).is_store()
+    assert Instr(Op.FPUSH, ra=1).is_store()
+    assert not Instr(Op.ADD, rd=1, ra=2, rb=3).is_load()
+    assert not Instr(Op.ADD, rd=1, ra=2, rb=3).is_store()
+
+
+def test_call_ret_are_memory_ops():
+    assert Instr(Op.CALL, imm=5).is_memory()
+    assert Instr(Op.RET).is_memory()
+
+
+@pytest.mark.parametrize(
+    "instr,expected",
+    [
+        (Instr(Op.ADD, rd=3, ra=1, rb=2), ("r", 3)),
+        (Instr(Op.LD, rd=4, ra=1), ("r", 4)),
+        (Instr(Op.FLD, rd=5, ra=1), ("f", 5)),
+        (Instr(Op.FADD, rd=6, ra=1, rb=2), ("f", 6)),
+        (Instr(Op.POP, rd=7), ("r", 7)),
+        (Instr(Op.FTOI, rd=2, ra=3), ("r", 2)),
+        (Instr(Op.ITOF, rd=2, ra=3), ("f", 2)),
+        (Instr(Op.MOVI, rd=1, imm=9), ("r", 1)),
+        (Instr(Op.SEQ, rd=1, ra=2, rb=3), ("r", 1)),
+        (Instr(Op.FLT, rd=1, ra=2, rb=3), ("r", 1)),  # float cmp writes int
+    ],
+)
+def test_written_reg(instr, expected):
+    assert instr.written_reg() == expected
+
+
+@pytest.mark.parametrize(
+    "instr",
+    [
+        Instr(Op.ST, rd=1, ra=2),
+        Instr(Op.STX, rd=1, ra=2, rb=3),
+        Instr(Op.PUSH, ra=1),
+        Instr(Op.FPUSH, ra=1),
+        Instr(Op.JMP, imm=0),
+        Instr(Op.BEQZ, ra=1, imm=0),
+        Instr(Op.CALL, imm=0),
+        Instr(Op.RET),
+        Instr(Op.HALT),
+        Instr(Op.OUT, ra=1),
+        Instr(Op.NOP),
+        Instr(Op.ABORT),
+    ],
+)
+def test_no_written_reg(instr):
+    assert instr.written_reg() is None
+
+
+def test_read_regs_store():
+    regs = Instr(Op.STX, rd=4, ra=1, rb=2).read_regs()
+    assert ("r", 1) in regs and ("r", 2) in regs and ("r", 4) in regs
+
+
+def test_read_regs_push_includes_sp():
+    assert ("r", SP) in Instr(Op.PUSH, ra=3).read_regs()
+    assert ("r", SP) in Instr(Op.RET).read_regs()
+    assert ("r", SP) in Instr(Op.CALL, imm=0).read_regs()
+
+
+def test_read_regs_float_ops():
+    regs = Instr(Op.FADD, rd=1, ra=2, rb=3).read_regs()
+    assert regs == [("f", 2), ("f", 3)]
+
+
+def test_uses_frame_regs():
+    assert Instr(Op.LD, rd=1, ra=BP, imm=-8).uses_frame_regs()
+    assert Instr(Op.PUSH, ra=1).uses_frame_regs()  # implicit sp
+    assert not Instr(Op.LD, rd=1, ra=2).uses_frame_regs()
+    assert not Instr(Op.ADD, rd=1, ra=2, rb=3).uses_frame_regs()
+
+
+def test_branch_ops_members():
+    assert Op.JMP in BRANCH_OPS
+    assert Op.CALL in BRANCH_OPS
+    assert Op.BEQZ in BRANCH_OPS
+    assert Op.RET not in BRANCH_OPS  # target comes from the stack
+
+
+def test_text_formats_every_opcode():
+    samples = {
+        Op.NOP: Instr(Op.NOP),
+        Op.MOV: Instr(Op.MOV, rd=1, ra=2),
+        Op.MOVI: Instr(Op.MOVI, rd=1, imm=42),
+        Op.FMOV: Instr(Op.FMOV, rd=1, ra=2),
+        Op.FMOVI: Instr(Op.FMOVI, rd=1, imm=1.5),
+        Op.LD: Instr(Op.LD, rd=1, ra=2, imm=8),
+        Op.ST: Instr(Op.ST, rd=1, ra=2, imm=8),
+        Op.LDX: Instr(Op.LDX, rd=1, ra=2, rb=3),
+        Op.STX: Instr(Op.STX, rd=1, ra=2, rb=3),
+        Op.FLD: Instr(Op.FLD, rd=1, ra=2),
+        Op.FST: Instr(Op.FST, rd=1, ra=2),
+        Op.FLDX: Instr(Op.FLDX, rd=1, ra=2, rb=3),
+        Op.FSTX: Instr(Op.FSTX, rd=1, ra=2, rb=3),
+        Op.PUSH: Instr(Op.PUSH, ra=1),
+        Op.POP: Instr(Op.POP, rd=1),
+        Op.FPUSH: Instr(Op.FPUSH, ra=1),
+        Op.FPOP: Instr(Op.FPOP, rd=1),
+        Op.JMP: Instr(Op.JMP, imm=3),
+        Op.BEQZ: Instr(Op.BEQZ, ra=1, imm=3),
+        Op.BNEZ: Instr(Op.BNEZ, ra=1, imm=3),
+        Op.CALL: Instr(Op.CALL, imm=3),
+        Op.RET: Instr(Op.RET),
+        Op.HALT: Instr(Op.HALT),
+        Op.OUT: Instr(Op.OUT, ra=1),
+        Op.FOUT: Instr(Op.FOUT, ra=1),
+        Op.ABORT: Instr(Op.ABORT),
+        Op.ITOF: Instr(Op.ITOF, rd=1, ra=2),
+        Op.FTOI: Instr(Op.FTOI, rd=1, ra=2),
+    }
+    for op in Op:
+        instr = samples.get(op, Instr(op, rd=1, ra=2, rb=3, imm=4))
+        text = instr.text()
+        assert isinstance(text, str) and text
+        assert text.split()[0] == op.name.lower()
+
+
+def test_instr_frozen():
+    instr = Instr(Op.ADD, rd=1, ra=2, rb=3)
+    with pytest.raises(AttributeError):
+        instr.rd = 5  # type: ignore[misc]
+
+
+def test_sym_not_in_equality():
+    a = Instr(Op.JMP, imm=3, sym="foo")
+    b = Instr(Op.JMP, imm=3, sym="bar")
+    assert a == b

@@ -1,0 +1,75 @@
+"""Program container: geometry, symbol queries, checksums."""
+
+import pytest
+
+from repro.errors import LoaderError
+from repro.isa import DATA_BASE, Instr, Op, Program
+from repro.isa.program import DataSymbol
+
+
+def _prog(**kwargs):
+    defaults = dict(
+        instrs=[Instr(Op.HALT)],
+        functions={"main": 0},
+        entry="main",
+    )
+    defaults.update(kwargs)
+    return Program(**defaults)
+
+
+def test_entry_pc():
+    program = _prog(instrs=[Instr(Op.NOP), Instr(Op.HALT)], functions={"main": 1})
+    assert program.entry_pc == 1
+
+
+def test_bad_entry_rejected():
+    with pytest.raises(LoaderError):
+        _prog(functions={"other": 0})
+
+
+def test_data_cells_contiguous():
+    program = _prog(
+        data_symbols={
+            "a": DataSymbol("a", DATA_BASE, 4),
+            "b": DataSymbol("b", DATA_BASE + 32, 2),
+        }
+    )
+    assert program.data_cells == 6
+    assert program.data_end() == DATA_BASE + 48
+
+
+def test_data_cells_empty():
+    assert _prog().data_cells == 0
+
+
+def test_symbol_for_pc(demo_program):
+    assert demo_program.symbol_for_pc(0) == "_start"
+    main_pc = demo_program.functions["main"]
+    assert demo_program.symbol_for_pc(main_pc) == "main"
+    assert demo_program.symbol_for_pc(main_pc + 3) == "main"
+    assert demo_program.symbol_for_pc(10**6) is None
+
+
+def test_function_names_by_pc(demo_program):
+    pairs = demo_program.function_names_by_pc()
+    assert pairs == sorted(pairs)
+    assert pairs[0][1] == "_start"
+
+
+def test_checksum_stable(demo_program):
+    assert demo_program.checksum() == demo_program.checksum()
+
+
+def test_checksum_changes_with_code(demo_program):
+    altered = Program(
+        instrs=demo_program.instrs[:-1] + [Instr(Op.NOP)],
+        functions=dict(demo_program.functions),
+        data_symbols=dict(demo_program.data_symbols),
+        data_init=dict(demo_program.data_init),
+        entry=demo_program.entry,
+    )
+    assert altered.checksum() != demo_program.checksum()
+
+
+def test_len(demo_program):
+    assert len(demo_program) == len(demo_program.instrs)

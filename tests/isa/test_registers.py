@@ -1,0 +1,60 @@
+"""Register-name resolution and architectural roles."""
+
+import pytest
+
+from repro.isa import registers as R
+
+
+def test_counts():
+    assert R.NUM_INT_REGS == 16
+    assert R.NUM_FP_REGS == 16
+    assert len(R.INT_REG_NAMES) == 16
+    assert len(R.FP_REG_NAMES) == 16
+
+
+def test_sp_bp_are_last_two():
+    assert R.BP == 14
+    assert R.SP == 15
+    assert R.INT_REG_NAMES[R.BP] == "bp"
+    assert R.INT_REG_NAMES[R.SP] == "sp"
+
+
+def test_roundtrip_int_names():
+    for i, name in enumerate(R.INT_REG_NAMES):
+        assert R.int_reg_index(name) == i
+        assert R.int_reg_name(i) == name
+
+
+def test_roundtrip_fp_names():
+    for i, name in enumerate(R.FP_REG_NAMES):
+        assert R.fp_reg_index(name) == i
+        assert R.fp_reg_name(i) == name
+
+
+def test_aliases():
+    assert R.int_reg_index("r14") == R.BP
+    assert R.int_reg_index("r15") == R.SP
+    assert R.int_reg_index("SP") == R.SP  # case-insensitive
+    assert R.int_reg_index("Bp") == R.BP
+
+
+def test_is_int_reg():
+    assert R.is_int_reg("r0")
+    assert R.is_int_reg("sp")
+    assert not R.is_int_reg("f0")
+    assert not R.is_int_reg("r16")
+    assert not R.is_int_reg("x1")
+
+
+def test_is_fp_reg():
+    assert R.is_fp_reg("f0")
+    assert R.is_fp_reg("f15")
+    assert not R.is_fp_reg("r0")
+    assert not R.is_fp_reg("f16")
+
+
+def test_unknown_name_raises():
+    with pytest.raises(KeyError):
+        R.int_reg_index("nope")
+    with pytest.raises(KeyError):
+        R.fp_reg_index("r1")

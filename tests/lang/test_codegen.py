@@ -1,0 +1,257 @@
+"""Code generation: compile-and-execute behavioural checks."""
+
+import pytest
+
+from repro.errors import CompileError
+from repro.lang import compile_source, compile_unit
+from repro.machine import Process, Signal
+
+
+def run(source, max_steps=10**7):
+    process = Process.load(compile_source(source))
+    result = process.run(max_steps)
+    return result, process.output_values()
+
+
+def expect(source, values, exit_code=0):
+    result, output = run(source)
+    assert result.reason == "exited", result
+    assert output == values
+    return output
+
+
+def test_arithmetic_int():
+    expect(
+        "func main() -> int { out(7 + 3); out(7 - 3); out(7 * 3);"
+        " out(7 / 3); out(7 % 3); out(-7 / 2); return 0; }",
+        [10, 4, 21, 2, 1, -3],
+    )
+
+
+def test_arithmetic_float():
+    expect(
+        "func main() -> int { out(1.5 + 2.0); out(1.0 / 4.0); out(-2.5); return 0; }",
+        [3.5, 0.25, -2.5],
+    )
+
+
+def test_comparisons():
+    expect(
+        "func main() -> int { out(1 < 2); out(2 < 1); out(2 <= 2);"
+        " out(3 > 2); out(2 >= 3); out(2 == 2); out(2 != 2); return 0; }",
+        [1, 0, 1, 1, 0, 1, 0],
+    )
+
+
+def test_float_comparisons():
+    expect(
+        "func main() -> int { out(1.5 < 2.5); out(2.5 > 1.5);"
+        " out(2.5 == 2.5); out(1.0 >= 2.0); return 0; }",
+        [1, 1, 1, 0],
+    )
+
+
+def test_short_circuit_and():
+    # the right side would divide by zero if evaluated
+    expect(
+        "func main() -> int { var int z = 0;"
+        " out(0 && (1 / z)); return 0; }",
+        [0],
+    )
+
+
+def test_short_circuit_or():
+    expect(
+        "func main() -> int { var int z = 0;"
+        " out(1 || (1 / z)); return 0; }",
+        [1],
+    )
+
+
+def test_logical_not():
+    expect("func main() -> int { out(!0); out(!5); out(!!7); return 0; }", [1, 0, 1])
+
+
+def test_globals_scalar_and_array():
+    expect(
+        "global int n = 3; global float a[4];"
+        "func main() -> int { a[0] = 1.5; a[n - 1] = 2.5;"
+        " out(a[0] + a[2]); out(n); return 0; }",
+        [4.0, 3],
+    )
+
+
+def test_uninitialised_locals_are_zero():
+    expect(
+        "func main() -> int { var int i; var float x; out(i); out(x); return 0; }",
+        [0, 0.0],
+    )
+
+
+def test_while_loop():
+    expect(
+        "func main() -> int { var int i = 0; var int s = 0;"
+        " while (i < 5) { s = s + i; i = i + 1; } out(s); return 0; }",
+        [10],
+    )
+
+
+def test_for_loop_with_break_continue():
+    expect(
+        "func main() -> int { var int i; var int s = 0;"
+        " for (i = 0; i < 10; i = i + 1) {"
+        "   if (i == 3) { continue; }"
+        "   if (i == 6) { break; }"
+        "   s = s + i;"
+        " } out(s); return 0; }",
+        [0 + 1 + 2 + 4 + 5],
+    )
+
+
+def test_nested_loops():
+    expect(
+        "func main() -> int { var int i; var int j; var int s = 0;"
+        " for (i = 0; i < 4; i = i + 1) {"
+        "   for (j = 0; j < i; j = j + 1) { s = s + 1; } }"
+        " out(s); return 0; }",
+        [6],
+    )
+
+
+def test_function_calls_and_args():
+    expect(
+        "func add3(int a, int b, int c) -> int { return a + b + c; }"
+        "func main() -> int { out(add3(1, 2, 3)); return 0; }",
+        [6],
+    )
+
+
+def test_float_args_and_return():
+    expect(
+        "func mix(float a, int b, float c) -> float { return a + float(b) * c; }"
+        "func main() -> int { out(mix(0.5, 2, 1.25)); return 0; }",
+        [3.0],
+    )
+
+
+def test_recursion():
+    expect(
+        "func fact(int n) -> int { if (n <= 1) { return 1; }"
+        " return n * fact(n - 1); }"
+        "func main() -> int { out(fact(10)); return 0; }",
+        [3628800],
+    )
+
+
+def test_mutual_recursion():
+    expect(
+        "func is_even(int n) -> int { if (n == 0) { return 1; }"
+        " return is_odd(n - 1); }"
+        "func is_odd(int n) -> int { if (n == 0) { return 0; }"
+        " return is_even(n - 1); }"
+        "func main() -> int { out(is_even(10)); out(is_odd(7)); return 0; }",
+        [1, 1],
+    )
+
+
+def test_call_preserves_live_intermediates():
+    # f() is called while an addition is half-evaluated in scratch regs
+    expect(
+        "func f() -> int { return 100; }"
+        "func main() -> int { out(1 + f() + 2); return 0; }",
+        [103],
+    )
+
+
+def test_call_preserves_live_float_intermediates():
+    expect(
+        "func f() -> float { return 100.0; }"
+        "func main() -> int { out(0.5 + f() + 0.25); return 0; }",
+        [100.75],
+    )
+
+
+def test_intrinsics():
+    expect(
+        "func main() -> int { out(sqrt(9.0)); out(fabs(-2.0));"
+        " out(fmin(1.0, 2.0)); out(fmax(1.0, 2.0));"
+        " out(float(7)); out(int(3.9)); out(int(-3.9)); return 0; }",
+        [3.0, 2.0, 1.0, 2.0, 7.0, 3, -3],
+    )
+
+
+def test_exit_code_from_main():
+    result, _ = run("func main() -> int { return 42; }")
+    assert result.reason == "exited"
+
+
+def test_exit_code_value():
+    process = Process.load(compile_source("func main() -> int { return 42; }"))
+    process.run(10**6)
+    assert process.exit_code == 42
+
+
+def test_abort_statement():
+    result, _ = run("func main() -> int { abort(); return 0; }")
+    assert result.reason == "terminated"
+    assert result.signal is Signal.SIGABRT
+
+
+def test_assert_pass_and_fail():
+    result, output = run(
+        "func main() -> int { assert(1 < 2); out(1); return 0; }"
+    )
+    assert result.reason == "exited" and output == [1]
+    result, _ = run("func main() -> int { assert(2 < 1); return 0; }")
+    assert result.signal is Signal.SIGABRT
+
+
+def test_int_division_by_zero_sigfpe():
+    result, _ = run(
+        "func main() -> int { var int z = 0; out(1 / z); return 0; }"
+    )
+    assert result.signal is Signal.SIGFPE
+
+
+def test_float_division_by_zero_is_inf():
+    _, output = run(
+        "func main() -> int { var float z = 0.0; out(1.0 / z); return 0; }"
+    )
+    assert output[0] == float("inf")
+
+
+def test_out_of_bounds_index_segfaults():
+    result, _ = run(
+        "global float a[4];"
+        "func main() -> int { var int i = 1000000; out(a[i]); return 0; }"
+    )
+    assert result.reason == "terminated"
+    assert result.signal is Signal.SIGSEGV
+
+
+def test_deep_expression_rejected():
+    nested = "1 + (" * 12 + "1" + ")" * 12
+    with pytest.raises(CompileError, match="too deep"):
+        compile_source(f"func main() -> int {{ out({nested} + 1); return 0; }}")
+
+
+def test_prologue_idiom_every_function(demo_unit):
+    """Every compiled function opens with the Listing-1 idiom."""
+    from repro.isa import Op
+    from repro.isa.registers import BP, SP
+
+    program = demo_unit.program
+    for name, pc in program.functions.items():
+        if name == "_start":
+            continue
+        assert program.instrs[pc].op is Op.PUSH and program.instrs[pc].ra == BP
+        assert program.instrs[pc + 1].op is Op.MOV
+        assert program.instrs[pc + 2].op is Op.SUBI
+        assert program.instrs[pc + 2].rd == SP
+
+
+def test_asm_text_reassembles(demo_unit):
+    from repro.isa import assemble
+
+    back = assemble(demo_unit.asm_text)
+    assert back.instrs == demo_unit.program.instrs

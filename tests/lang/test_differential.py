@@ -1,0 +1,192 @@
+"""Differential testing: random MiniC expressions vs a Python reference.
+
+Hypothesis generates expression trees; each is compiled, executed on the
+machine, and compared against direct evaluation with 64-bit wrapping
+semantics.  This exercises the lexer, parser, type checker, code
+generator (scratch-stack discipline, short-circuiting), assembler, and
+CPU in one shot.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lang import compile_source
+from repro.machine import Process
+
+MASK = (1 << 64) - 1
+
+
+def wrap(x: int) -> int:
+    x &= MASK
+    return x - (1 << 64) if x >= (1 << 63) else x
+
+
+# -- expression AST for the generator ------------------------------------
+
+
+class E:
+    """Reference expression node: renders MiniC and evaluates in Python."""
+
+    def __init__(self, text: str, value: int):
+        self.text = text
+        self.value = value
+
+
+SMALL = st.integers(-50, 50)
+
+
+@st.composite
+def int_exprs(draw, depth=0):
+    if depth >= 4:
+        n = draw(SMALL)
+        return E(f"({n})" if n < 0 else str(n), n)
+    kind = draw(
+        st.sampled_from(
+            ["lit", "add", "sub", "mul", "div", "mod", "cmp", "and", "or", "not", "neg"]
+        )
+    )
+    if kind == "lit":
+        n = draw(SMALL)
+        return E(f"({n})" if n < 0 else str(n), n)
+    if kind in ("add", "sub", "mul"):
+        a = draw(int_exprs(depth=depth + 1))
+        b = draw(int_exprs(depth=depth + 1))
+        op = {"add": "+", "sub": "-", "mul": "*"}[kind]
+        value = wrap({"add": a.value + b.value, "sub": a.value - b.value, "mul": a.value * b.value}[kind])
+        return E(f"({a.text} {op} {b.text})", value)
+    if kind in ("div", "mod"):
+        a = draw(int_exprs(depth=depth + 1))
+        b = draw(int_exprs(depth=depth + 1))
+        if b.value == 0:
+            return a  # avoid SIGFPE in the reference population
+        q = abs(a.value) // abs(b.value)
+        if (a.value < 0) != (b.value < 0):
+            q = -q
+        value = wrap(q) if kind == "div" else wrap(a.value - q * b.value)
+        op = "/" if kind == "div" else "%"
+        return E(f"({a.text} {op} {b.text})", value)
+    if kind == "cmp":
+        a = draw(int_exprs(depth=depth + 1))
+        b = draw(int_exprs(depth=depth + 1))
+        op = draw(st.sampled_from(["<", "<=", ">", ">=", "==", "!="]))
+        value = int(
+            {
+                "<": a.value < b.value,
+                "<=": a.value <= b.value,
+                ">": a.value > b.value,
+                ">=": a.value >= b.value,
+                "==": a.value == b.value,
+                "!=": a.value != b.value,
+            }[op]
+        )
+        return E(f"({a.text} {op} {b.text})", value)
+    if kind in ("and", "or"):
+        a = draw(int_exprs(depth=depth + 1))
+        b = draw(int_exprs(depth=depth + 1))
+        if kind == "and":
+            value = int(bool(a.value) and bool(b.value))
+            return E(f"({a.text} && {b.text})", value)
+        value = int(bool(a.value) or bool(b.value))
+        return E(f"({a.text} || {b.text})", value)
+    if kind == "not":
+        a = draw(int_exprs(depth=depth + 1))
+        return E(f"(!{a.text})", int(a.value == 0))
+    a = draw(int_exprs(depth=depth + 1))
+    return E(f"(-{a.text})", wrap(-a.value))
+
+
+@given(int_exprs())
+@settings(max_examples=120, deadline=None)
+def test_int_expression_differential(expr):
+    source = f"func main() -> int {{ out({expr.text}); return 0; }}"
+    process = Process.load(compile_source(source))
+    result = process.run(10**6)
+    assert result.reason == "exited", f"{expr.text}: {result}"
+    assert process.output_values() == [expr.value], expr.text
+
+
+@st.composite
+def float_exprs(draw, depth=0):
+    if depth >= 4:
+        v = draw(st.floats(-100, 100, allow_nan=False))
+        return E(f"({v!r})", v)
+    kind = draw(st.sampled_from(["lit", "add", "sub", "mul", "neg", "fabs", "fmin"]))
+    if kind == "lit":
+        v = draw(st.floats(-100, 100, allow_nan=False))
+        return E(f"({v!r})", v)
+    if kind in ("add", "sub", "mul"):
+        a = draw(float_exprs(depth=depth + 1))
+        b = draw(float_exprs(depth=depth + 1))
+        op = {"add": "+", "sub": "-", "mul": "*"}[kind]
+        value = {"add": a.value + b.value, "sub": a.value - b.value, "mul": a.value * b.value}[kind]
+        return E(f"({a.text} {op} {b.text})", value)
+    if kind == "neg":
+        a = draw(float_exprs(depth=depth + 1))
+        return E(f"(-{a.text})", -a.value)
+    if kind == "fabs":
+        a = draw(float_exprs(depth=depth + 1))
+        return E(f"fabs({a.text})", abs(a.value))
+    a = draw(float_exprs(depth=depth + 1))
+    b = draw(float_exprs(depth=depth + 1))
+    value = a.value if a.value < b.value else b.value
+    return E(f"fmin({a.text}, {b.text})", value)
+
+
+@given(float_exprs())
+@settings(max_examples=120, deadline=None)
+def test_float_expression_differential(expr):
+    source = f"func main() -> int {{ out({expr.text}); return 0; }}"
+    process = Process.load(compile_source(source))
+    result = process.run(10**6)
+    assert result.reason == "exited", f"{expr.text}: {result}"
+    (value,) = process.output_values()
+    assert value == expr.value, expr.text
+
+
+@given(st.lists(st.integers(-1000, 1000), min_size=1, max_size=8))
+@settings(max_examples=60, deadline=None)
+def test_array_sum_differential(values):
+    n = len(values)
+    assigns = "\n".join(f"a[{i}] = {v};" for i, v in enumerate(values))
+    source = f"""
+    global int a[{n}];
+    func main() -> int {{
+        var int i;
+        var int s = 0;
+        {assigns}
+        for (i = 0; i < {n}; i = i + 1) {{ s = s + a[i]; }}
+        out(s);
+        return 0;
+    }}
+    """
+    process = Process.load(compile_source(source))
+    process.run(10**6)
+    assert process.output_values() == [sum(values)]
+
+
+@given(st.integers(0, 12), st.integers(0, 12))
+@settings(max_examples=40, deadline=None)
+def test_recursive_ackermann_like(m, n):
+    """Deep call stacks: compile-and-run a two-argument recursion."""
+    source = """
+    func weird(int a, int b) -> int {
+        if (a <= 0) { return b + 1; }
+        if (b <= 0) { return weird(a - 1, 1); }
+        return weird(a - 1, b - 1) + 1;
+    }
+    func main() -> int { out(weird(%d, %d)); return 0; }
+    """ % (m, n)
+
+    def reference(a, b):
+        if a <= 0:
+            return b + 1
+        if b <= 0:
+            return reference(a - 1, 1)
+        return reference(a - 1, b - 1) + 1
+
+    process = Process.load(compile_source(source))
+    result = process.run(10**7)
+    assert result.reason == "exited"
+    assert process.output_values() == [reference(m, n)]

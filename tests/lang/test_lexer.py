@@ -1,0 +1,89 @@
+"""MiniC lexer."""
+
+import pytest
+
+from repro.errors import CompileError
+from repro.lang.lexer import Tok, tokenize
+
+
+def kinds(source):
+    return [(t.kind, t.value) for t in tokenize(source)[:-1]]
+
+
+def test_empty_gives_eof():
+    tokens = tokenize("")
+    assert len(tokens) == 1
+    assert tokens[0].kind is Tok.EOF
+
+
+def test_keywords_vs_idents():
+    tokens = kinds("func foo while whileish")
+    assert tokens == [
+        (Tok.KW, "func"),
+        (Tok.IDENT, "foo"),
+        (Tok.KW, "while"),
+        (Tok.IDENT, "whileish"),
+    ]
+
+
+def test_int_literals():
+    tokens = kinds("0 42 0x1F")
+    assert tokens == [(Tok.INT, 0), (Tok.INT, 42), (Tok.INT, 31)]
+
+
+def test_float_literals():
+    tokens = kinds("1.5 0.0 2e3 1.5e-2 .5")
+    values = [v for _, v in tokens]
+    assert values == [1.5, 0.0, 2000.0, 0.015, 0.5]
+    assert all(k is Tok.FLOAT for k, _ in tokens)
+
+
+def test_int_then_member_like_is_float():
+    # "1." is not valid here; "1.0" is
+    assert kinds("1.0")[0] == (Tok.FLOAT, 1.0)
+
+
+def test_operators_longest_match():
+    tokens = [v for _, v in kinds("a<=b==c&&d||e!=f->g")]
+    assert "<=" in tokens and "==" in tokens and "&&" in tokens
+    assert "||" in tokens and "!=" in tokens and "->" in tokens
+
+
+def test_line_numbers():
+    tokens = tokenize("a\nb\n\nc")
+    assert [t.line for t in tokens[:-1]] == [1, 2, 4]
+
+
+def test_line_comments():
+    assert kinds("a // comment\nb") == [(Tok.IDENT, "a"), (Tok.IDENT, "b")]
+
+
+def test_block_comments():
+    assert kinds("a /* x\ny */ b") == [(Tok.IDENT, "a"), (Tok.IDENT, "b")]
+    tokens = tokenize("a /* x\ny */ b")
+    assert tokens[1].line == 2
+
+
+def test_unterminated_block_comment():
+    with pytest.raises(CompileError):
+        tokenize("a /* never ends")
+
+
+def test_unexpected_character():
+    with pytest.raises(CompileError) as info:
+        tokenize("a $ b")
+    assert "$" in str(info.value)
+
+
+def test_bad_hex():
+    with pytest.raises(CompileError):
+        tokenize("0x")
+
+
+def test_token_helpers():
+    token = tokenize("while")[0]
+    assert token.is_kw("while")
+    assert not token.is_kw("for")
+    punct = tokenize("->")[0]
+    assert punct.is_punct("->")
+    assert not punct.is_punct("-")

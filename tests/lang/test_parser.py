@@ -1,0 +1,162 @@
+"""MiniC parser: structure and diagnostics."""
+
+import pytest
+
+from repro.errors import CompileError
+from repro.lang.ast_nodes import (
+    Assign,
+    BinOp,
+    Call,
+    For,
+    If,
+    Index,
+    IntLit,
+    Name,
+    Out,
+    Return,
+    Type,
+    UnOp,
+    VarDecl,
+    While,
+)
+from repro.lang.parser import parse
+
+
+def parse_main(body):
+    module = parse(f"func main() -> int {{ {body} return 0; }}")
+    return module.funcs[0].body.stmts[:-1]
+
+
+def first_expr(text):
+    (stmt,) = parse_main(f"x = {text};")
+    assert isinstance(stmt, Assign)
+    return stmt.value
+
+
+def test_globals():
+    module = parse(
+        "global int n = 4;\n"
+        "global float a[8];\n"
+        "global float pi = 3.14;\n"
+        "global int neg = -2;\n"
+        "func main() -> int { return 0; }"
+    )
+    n, a, pi, neg = module.globals
+    assert n.declared is Type.INT and n.init == 4 and n.size is None
+    assert a.declared is Type.FLOAT and a.size == 8 and a.init is None
+    assert pi.init == 3.14
+    assert neg.init == -2
+
+
+def test_func_signature():
+    module = parse("func f(int a, float b) -> float { return b; }"
+                   "func main() -> int { return 0; }")
+    f = module.funcs[0]
+    assert [p.declared for p in f.params] == [Type.INT, Type.FLOAT]
+    assert f.ret is Type.FLOAT
+
+
+def test_precedence_mul_over_add():
+    expr = first_expr("1 + 2 * 3")
+    assert isinstance(expr, BinOp) and expr.op == "+"
+    assert isinstance(expr.right, BinOp) and expr.right.op == "*"
+
+
+def test_precedence_cmp_over_and():
+    expr = first_expr("a < b && c < d")
+    assert expr.op == "&&"
+    assert expr.left.op == "<" and expr.right.op == "<"
+
+
+def test_precedence_and_over_or():
+    expr = first_expr("a || b && c")
+    assert expr.op == "||"
+    assert expr.right.op == "&&"
+
+
+def test_parentheses():
+    expr = first_expr("(1 + 2) * 3")
+    assert expr.op == "*"
+    assert expr.left.op == "+"
+
+
+def test_unary():
+    expr = first_expr("-a")
+    assert isinstance(expr, UnOp) and expr.op == "-"
+    expr = first_expr("!!a")
+    assert isinstance(expr, UnOp) and isinstance(expr.operand, UnOp)
+
+
+def test_index_and_call():
+    expr = first_expr("a[i + 1]")
+    assert isinstance(expr, Index)
+    assert isinstance(expr.index, BinOp)
+    expr = first_expr("f(1, g(2))")
+    assert isinstance(expr, Call) and len(expr.args) == 2
+    assert isinstance(expr.args[1], Call)
+
+
+def test_conversion_keywords_parse_as_calls():
+    expr = first_expr("float(3)")
+    assert isinstance(expr, Call) and expr.name == "float"
+    expr = first_expr("int(3.5)")
+    assert isinstance(expr, Call) and expr.name == "int"
+
+
+def test_if_else_chain():
+    (stmt,) = parse_main("if (a) { x = 1; } else if (b) { x = 2; } else { x = 3; }")
+    assert isinstance(stmt, If)
+    nested = stmt.orelse.stmts[0]
+    assert isinstance(nested, If)
+    assert nested.orelse is not None
+
+
+def test_while_and_for():
+    (w,) = parse_main("while (i < 3) { i = i + 1; }")
+    assert isinstance(w, While)
+    (f,) = parse_main("for (i = 0; i < 3; i = i + 1) { x = i; }")
+    assert isinstance(f, For)
+    assert isinstance(f.init, Assign) and isinstance(f.step, Assign)
+
+
+def test_for_without_init_step():
+    (f,) = parse_main("for (; i < 3;) { i = i + 1; }")
+    assert f.init is None and f.step is None
+
+
+def test_statements():
+    decl, out = parse_main("var float y = 1.0; out(y);")
+    assert isinstance(decl, VarDecl) and decl.declared is Type.FLOAT
+    assert isinstance(out, Out)
+
+
+def test_return_value():
+    module = parse("func main() -> int { return 1 + 2; }")
+    ret = module.funcs[0].body.stmts[0]
+    assert isinstance(ret, Return) and isinstance(ret.value, BinOp)
+
+
+@pytest.mark.parametrize(
+    "source,fragment",
+    [
+        ("func main() -> int { x = ; }", "unexpected token"),
+        ("func main() -> int { if a { } }", "expected '('"),
+        ("func main() -> int {", "unterminated block"),
+        ("global int a[0]; func main() -> int { return 0; }", "positive"),
+        ("global float a[4] = 1.0; func main() -> int { return 0; }", "initializer"),
+        ("func main() -> int { 1 = 2; }", "assignment target"),
+        ("func main() -> int { for (g(1); a; ) {} }", "for-init"),
+        ("bogus", "expected 'global' or 'func'"),
+        ("func main() { return 0; }", "expected '->'"),
+    ],
+)
+def test_parse_errors(source, fragment):
+    with pytest.raises(CompileError) as info:
+        parse(source)
+    assert fragment in str(info.value)
+
+
+def test_error_line_numbers():
+    with pytest.raises(CompileError) as info:
+        parse("func main() -> int {\n\n  x = ;\n}")
+    assert info.value.line == 3

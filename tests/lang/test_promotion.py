@@ -1,0 +1,109 @@
+"""Register promotion: hot locals live in callee-saved registers."""
+
+from repro.isa import Op
+from repro.isa.registers import int_reg_index
+from repro.lang import compile_unit
+from repro.lang.codegen import FLOAT_PROMOTE_REGS, INT_PROMOTE_REGS
+from repro.machine import Process
+
+LOOP_SRC = """
+func main() -> int {
+    var int i;
+    var float s = 0.0;
+    for (i = 0; i < 100; i = i + 1) {
+        s = s + float(i);
+    }
+    out(s);
+    out(i);
+    return 0;
+}
+"""
+
+
+def test_loop_variable_promoted():
+    unit = compile_unit(LOOP_SRC)
+    text = unit.asm_text
+    # the loop counter must live in a promotion register: no ld/st of a
+    # bp-relative slot inside the loop for i
+    assert any(f"mov {INT_PROMOTE_REGS[0]}" in line or f"mov r1, {INT_PROMOTE_REGS[0]}" in line
+               for line in text.splitlines())
+
+
+def test_promoted_program_correct():
+    process = Process.load(compile_unit(LOOP_SRC).program)
+    process.run(10**6)
+    assert process.output_values() == [4950.0, 100]
+
+
+def test_float_accumulator_promoted():
+    unit = compile_unit(LOOP_SRC)
+    assert FLOAT_PROMOTE_REGS[0] in unit.asm_text
+
+
+def test_callee_saves_promotion_registers():
+    """A callee using promotion regs must not clobber the caller's."""
+    source = """
+    func burn() -> int {
+        var int k;
+        var int t = 0;
+        for (k = 0; k < 10; k = k + 1) { t = t + k; }
+        return t;
+    }
+    func main() -> int {
+        var int i;
+        var int s = 0;
+        for (i = 0; i < 5; i = i + 1) {
+            s = s + burn();     // burn() promotes k/t to the same regs
+        }
+        out(s);
+        out(i);
+        return 0;
+    }
+    """
+    process = Process.load(compile_unit(source).program)
+    process.run(10**6)
+    assert process.output_values() == [225, 5]
+
+
+def test_prologue_pushes_promoted_regs():
+    unit = compile_unit(LOOP_SRC)
+    program = unit.program
+    main_pc = program.functions["main"]
+    # after push bp / mov / subi, promoted saves follow
+    ops = [program.instrs[main_pc + k].op for k in range(6)]
+    assert ops[0] is Op.PUSH and ops[1] is Op.MOV and ops[2] is Op.SUBI
+    assert Op.PUSH in ops[3:] or Op.FPUSH in ops[3:]
+
+
+def test_promoted_regs_are_callee_saved_set():
+    for reg in INT_PROMOTE_REGS:
+        index = int_reg_index(reg)
+        assert index not in (14, 15)  # never sp/bp
+        assert index not in range(1, 8)  # never scratch
+
+
+def test_params_never_promoted():
+    source = """
+    func f(int a) -> int {
+        var int i;
+        var int s = 0;
+        for (i = 0; i < a; i = i + 1) { s = s + a; }
+        return s;
+    }
+    func main() -> int { out(f(7)); return 0; }
+    """
+    unit = compile_unit(source)
+    process = Process.load(unit.program)
+    process.run(10**6)
+    assert process.output_values() == [49]
+
+
+def test_frame_smaller_with_promotion():
+    """Promoted locals need no stack slots."""
+    from repro.analysis import FunctionTable
+
+    unit = compile_unit(LOOP_SRC)
+    table = FunctionTable(unit.program)
+    main = table.by_name("main")
+    # two locals, both promoted -> zero frame
+    assert main.frame_size == 0

@@ -1,0 +1,150 @@
+"""MiniC semantic analysis: typing rules and rejections."""
+
+import pytest
+
+from repro.errors import CompileError
+from repro.lang.ast_nodes import Type
+from repro.lang.parser import parse
+from repro.lang.semantics import analyze
+
+
+def check(source):
+    return analyze(parse(source))
+
+
+MAIN = "func main() -> int { return 0; }"
+
+
+def test_minimal_module():
+    info = check(MAIN)
+    assert "main" in info.funcs
+
+
+def test_missing_main():
+    with pytest.raises(CompileError, match="main"):
+        check("func f() -> int { return 0; }")
+
+
+def test_main_signature_enforced():
+    with pytest.raises(CompileError):
+        check("func main(int a) -> int { return 0; }")
+    with pytest.raises(CompileError):
+        check("func main() -> float { return 0.0; }")
+
+
+def test_global_symbols():
+    info = check("global int n = 3; global float a[4];" + MAIN)
+    assert info.globals["n"].ty is Type.INT and not info.globals["n"].is_array
+    assert info.globals["a"].is_array and info.globals["a"].cells == 4
+
+
+def test_duplicate_global():
+    with pytest.raises(CompileError, match="duplicate global"):
+        check("global int x; global float x;" + MAIN)
+
+
+def test_duplicate_function():
+    with pytest.raises(CompileError, match="duplicate function"):
+        check("func f() -> int { return 0; } func f() -> int { return 0; }" + MAIN)
+
+
+def test_intrinsic_names_reserved():
+    with pytest.raises(CompileError, match="reserved"):
+        check("global int sqrt;" + MAIN)
+    with pytest.raises(CompileError, match="reserved"):
+        check("func fabs() -> int { return 0; }" + MAIN)
+
+
+def test_local_types_annotated():
+    info = check(
+        "func main() -> int { var float x = 1.5; var int y = 2; return y; }"
+    )
+    scope = info.locals_of("main")
+    assert scope["x"].ty is Type.FLOAT
+    assert scope["y"].ty is Type.INT
+    assert info.n_locals("main") == 2
+
+
+@pytest.mark.parametrize(
+    "body,fragment",
+    [
+        ("x = 1;", "undeclared"),
+        ("var int x = 1.0;", "initializer"),
+        ("var int x; x = 1.5;", "cannot assign"),
+        ("var int x; var int x;", "duplicate local"),
+        ("var float f; if (f) { }", "condition must be int"),
+        ("var int a; a = 1 + 2.0;", "mixed types"),
+        ("var float a; a = 1.0 % 2.0;", "integer-only"),
+        ("var float a; var int b; b = a && 1;", "needs int"),
+        ("var float a; var int b; b = !a;", "'!' needs an int"),
+        ("break;", "outside a loop"),
+        ("continue;", "outside a loop"),
+        ("g(1);", "undefined function"),
+        ("out(sqrt(2));", "argument is int"),
+        ("out(sqrt(1.0, 2.0));", "takes 1"),
+        ("1 + 2;", "must be calls"),
+        ("return 1.5;", "return type"),
+        ("return;", "must carry a value"),
+    ],
+)
+def test_rejections(body, fragment):
+    source = f"func main() -> int {{ {body} return 0; }}"
+    with pytest.raises(CompileError) as info:
+        check(source)
+    assert fragment in str(info.value)
+
+
+def test_unreachable_after_return():
+    with pytest.raises(CompileError, match="unreachable"):
+        check("func main() -> int { return 0; out(1); }")
+
+
+def test_must_return_on_all_paths():
+    with pytest.raises(CompileError, match="fall off"):
+        check("func f(int a) -> int { if (a) { return 1; } } " + MAIN)
+
+
+def test_if_else_both_return_ok():
+    check("func f(int a) -> int { if (a) { return 1; } else { return 2; } } " + MAIN)
+
+
+def test_array_usage_rules():
+    with pytest.raises(CompileError, match="needs an index"):
+        check("global float a[4]; func main() -> int { out(a); return 0; }")
+    with pytest.raises(CompileError, match="scalar"):
+        check("global float s; func main() -> int { out(s[0]); return 0; }")
+    with pytest.raises(CompileError, match="index must be int"):
+        check("global float a[4]; func main() -> int { out(a[1.0]); return 0; }")
+
+
+def test_shadowing_global_rejected():
+    with pytest.raises(CompileError, match="shadows"):
+        check("global int n; func main() -> int { var int n; return 0; }")
+
+
+def test_call_type_checking():
+    source = (
+        "func f(int a, float b) -> float { return b; }"
+        "func main() -> int { out(f(1, 2.0)); return 0; }"
+    )
+    check(source)
+    with pytest.raises(CompileError, match="argument is"):
+        check(
+            "func f(int a) -> int { return a; }"
+            "func main() -> int { out(f(1.0)); return 0; }"
+        )
+    with pytest.raises(CompileError, match="takes 1"):
+        check(
+            "func f(int a) -> int { return a; }"
+            "func main() -> int { out(f(1, 2)); return 0; }"
+        )
+
+
+def test_expression_types_annotated():
+    module = parse("func main() -> int { var float x; x = 1.0 + 2.0; return 0; }")
+    analyze(module)
+    assign = module.funcs[0].body.stmts[1]
+    assert assign.value.ty is Type.FLOAT
+    cmp_module = parse("func main() -> int { var int b; b = 1.0 < 2.0; return 0; }")
+    analyze(cmp_module)
+    assert cmp_module.funcs[0].body.stmts[1].value.ty is Type.INT

@@ -1,0 +1,155 @@
+"""CPU integer ALU semantics: 64-bit wraparound, shifts, div/mod, compares."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isa import INT64_MAX, INT64_MIN, Instr, Op, Program
+from repro.machine import CPU, Memory, Signal, Trap
+
+I64 = st.integers(INT64_MIN, INT64_MAX)
+
+
+def make_cpu():
+    program = Program(instrs=[Instr(Op.HALT)], functions={"main": 0})
+    return CPU(program, Memory())
+
+
+def run_op(op, a=0, b=0, imm=0):
+    cpu = make_cpu()
+    cpu.iregs[1] = a
+    cpu.iregs[2] = b
+    cpu.instrs = [Instr(op, rd=3, ra=1, rb=2, imm=imm), Instr(Op.HALT)]
+    cpu._n_instrs = 2
+    cpu.run(1)
+    return cpu.iregs[3]
+
+
+def _wrap(x):
+    x &= (1 << 64) - 1
+    return x - (1 << 64) if x >= (1 << 63) else x
+
+
+@given(I64, I64)
+@settings(max_examples=150)
+def test_add_wraps(a, b):
+    assert run_op(Op.ADD, a, b) == _wrap(a + b)
+
+
+@given(I64, I64)
+@settings(max_examples=150)
+def test_sub_wraps(a, b):
+    assert run_op(Op.SUB, a, b) == _wrap(a - b)
+
+
+@given(I64, I64)
+@settings(max_examples=100)
+def test_mul_wraps(a, b):
+    assert run_op(Op.MUL, a, b) == _wrap(a * b)
+
+
+def test_add_overflow_wraps_exactly():
+    assert run_op(Op.ADD, INT64_MAX, 1) == INT64_MIN
+
+
+def test_div_truncates_toward_zero():
+    assert run_op(Op.DIV, 7, 2) == 3
+    assert run_op(Op.DIV, -7, 2) == -3
+    assert run_op(Op.DIV, 7, -2) == -3
+    assert run_op(Op.DIV, -7, -2) == 3
+
+
+def test_mod_sign_of_dividend():
+    assert run_op(Op.MOD, 7, 3) == 1
+    assert run_op(Op.MOD, -7, 3) == -1
+    assert run_op(Op.MOD, 7, -3) == 1
+    assert run_op(Op.MOD, -7, -3) == -1
+
+
+@given(I64, I64.filter(lambda b: b != 0))
+@settings(max_examples=150)
+def test_div_mod_identity(a, b):
+    q = run_op(Op.DIV, a, b)
+    r = run_op(Op.MOD, a, b)
+    assert _wrap(q * b + r) == a
+
+
+def test_div_by_zero_traps():
+    cpu = make_cpu()
+    cpu.instrs = [Instr(Op.DIV, rd=3, ra=1, rb=2), Instr(Op.HALT)]
+    cpu._n_instrs = 2
+    with pytest.raises(Trap) as info:
+        cpu.run(1)
+    assert info.value.signal is Signal.SIGFPE
+    assert cpu.pc == 0  # precise: pc still at the faulter
+    assert cpu.instret == 0  # did not retire
+
+
+def test_mod_by_zero_traps():
+    cpu = make_cpu()
+    cpu.instrs = [Instr(Op.MOD, rd=3, ra=1, rb=2), Instr(Op.HALT)]
+    cpu._n_instrs = 2
+    with pytest.raises(Trap):
+        cpu.run(1)
+
+
+def test_shifts_mask_count():
+    assert run_op(Op.SHL, 1, 64) == 1       # 64 & 63 == 0
+    assert run_op(Op.SHL, 1, 65) == 2
+    assert run_op(Op.SHR, -8, 1) == -4      # arithmetic
+    assert run_op(Op.SHR, 8, 200) == 8 >> (200 & 63)
+
+
+def test_shift_immediates():
+    assert run_op(Op.SHLI, 3, imm=2) == 12
+    assert run_op(Op.SHRI, -16, imm=2) == -4
+
+
+def test_bitwise():
+    assert run_op(Op.AND, 0b1100, 0b1010) == 0b1000
+    assert run_op(Op.OR, 0b1100, 0b1010) == 0b1110
+    assert run_op(Op.XOR, 0b1100, 0b1010) == 0b0110
+    assert run_op(Op.AND, -1, 5) == 5
+
+
+def test_neg_not():
+    assert run_op(Op.NEG, 5) == -5
+    assert run_op(Op.NEG, INT64_MIN) == INT64_MIN  # classic wrap
+    assert run_op(Op.NOT, 0) == -1
+
+
+def test_imm_forms():
+    assert run_op(Op.ADDI, 5, imm=3) == 8
+    assert run_op(Op.SUBI, 5, imm=3) == 2
+    assert run_op(Op.MULI, 5, imm=3) == 15
+    assert run_op(Op.ANDI, 0b111, imm=0b101) == 0b101
+    assert run_op(Op.ORI, 0b001, imm=0b100) == 0b101
+    assert run_op(Op.XORI, 0b111, imm=0b010) == 0b101
+
+
+@pytest.mark.parametrize(
+    "op,a,b,expected",
+    [
+        (Op.SEQ, 3, 3, 1),
+        (Op.SEQ, 3, 4, 0),
+        (Op.SNE, 3, 4, 1),
+        (Op.SLT, -1, 0, 1),
+        (Op.SLT, 0, 0, 0),
+        (Op.SLE, 0, 0, 1),
+        (Op.SLE, 1, 0, 0),
+    ],
+)
+def test_compares(op, a, b, expected):
+    assert run_op(op, a, b) == expected
+
+
+def test_mov_movi():
+    cpu = make_cpu()
+    cpu.instrs = [
+        Instr(Op.MOVI, rd=1, imm=-42),
+        Instr(Op.MOV, rd=2, ra=1),
+        Instr(Op.HALT),
+    ]
+    cpu._n_instrs = 3
+    cpu.run(10)
+    assert cpu.iregs[1] == -42 and cpu.iregs[2] == -42

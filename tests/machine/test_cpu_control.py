@@ -1,0 +1,165 @@
+"""CPU control flow: branches, calls, rets, halt, fetch faults, output."""
+
+import pytest
+
+from repro.isa import STACK_TOP, Instr, Op, Program
+from repro.isa.registers import SP
+from repro.machine import CPU, Memory, Process, Signal
+
+
+def make_process(instrs, functions=None):
+    program = Program(
+        instrs=list(instrs),
+        functions=functions or {"main": 0},
+    )
+    return Process.load(program)
+
+
+def test_jmp():
+    p = make_process(
+        [
+            Instr(Op.JMP, imm=2),
+            Instr(Op.MOVI, rd=1, imm=111),  # skipped
+            Instr(Op.HALT),
+        ]
+    )
+    p.run(10)
+    assert p.cpu.iregs[1] == 0
+
+
+def test_beqz_taken_and_not():
+    p = make_process(
+        [
+            Instr(Op.MOVI, rd=1, imm=0),
+            Instr(Op.BEQZ, ra=1, imm=3),
+            Instr(Op.MOVI, rd=2, imm=5),  # skipped
+            Instr(Op.MOVI, rd=3, imm=7),
+            Instr(Op.HALT),
+        ]
+    )
+    p.run(10)
+    assert p.cpu.iregs[2] == 0 and p.cpu.iregs[3] == 7
+
+
+def test_bnez():
+    p = make_process(
+        [
+            Instr(Op.MOVI, rd=1, imm=1),
+            Instr(Op.BNEZ, ra=1, imm=3),
+            Instr(Op.MOVI, rd=2, imm=5),
+            Instr(Op.HALT),
+        ]
+    )
+    p.run(10)
+    assert p.cpu.iregs[2] == 0
+
+
+def test_call_ret():
+    p = make_process(
+        [
+            Instr(Op.CALL, imm=3),
+            Instr(Op.MOVI, rd=2, imm=9),
+            Instr(Op.HALT),
+            Instr(Op.MOVI, rd=1, imm=4),  # callee
+            Instr(Op.RET),
+        ],
+        functions={"main": 0, "callee": 3},
+    )
+    p.run(20)
+    assert p.cpu.iregs[1] == 4 and p.cpu.iregs[2] == 9
+    assert p.cpu.iregs[SP] == STACK_TOP
+
+
+def test_ret_to_garbage_fetch_faults():
+    p = make_process(
+        [
+            Instr(Op.MOVI, rd=1, imm=99999),
+            Instr(Op.PUSH, ra=1),
+            Instr(Op.RET),
+        ]
+    )
+    result = p.run(10)
+    assert result.reason == "terminated"
+    assert result.signal is Signal.SIGSEGV
+    assert result.trap.instr is None  # fetch fault carries no instruction
+    assert result.trap.pc == 99999
+
+
+def test_negative_pc_fetch_faults():
+    p = make_process([Instr(Op.JMP, imm=-5), Instr(Op.HALT)])
+    result = p.run(10)
+    assert result.signal is Signal.SIGSEGV
+
+
+def test_halt_exit_code_from_r0():
+    p = make_process([Instr(Op.MOVI, rd=0, imm=3), Instr(Op.HALT)])
+    result = p.run(10)
+    assert result.reason == "exited"
+    assert p.exit_code == 3
+
+
+def test_out_fout_stream_order():
+    p = make_process(
+        [
+            Instr(Op.MOVI, rd=1, imm=4),
+            Instr(Op.OUT, ra=1),
+            Instr(Op.FMOVI, rd=2, imm=0.5),
+            Instr(Op.FOUT, ra=2),
+            Instr(Op.HALT),
+        ]
+    )
+    p.run(10)
+    assert p.output == [("i", 4), ("f", 0.5)]
+    assert p.output_values() == [4, 0.5]
+
+
+def test_abort_raises_sigabrt():
+    p = make_process([Instr(Op.ABORT), Instr(Op.HALT)])
+    result = p.run(10)
+    assert result.signal is Signal.SIGABRT
+    assert result.trap.pc == 0
+
+
+def test_nop_advances():
+    p = make_process([Instr(Op.NOP), Instr(Op.HALT)])
+    p.run(10)
+    assert p.cpu.instret == 2
+
+
+def test_budget_stops_without_halt():
+    p = make_process([Instr(Op.JMP, imm=0)])
+    result = p.run(1000)
+    assert result.reason == "budget"
+    assert result.steps == 1000
+    assert p.cpu.instret == 1000
+
+
+def test_instret_counts_across_runs():
+    p = make_process([Instr(Op.JMP, imm=0)])
+    p.run(10)
+    p.run(15)
+    assert p.cpu.instret == 25
+
+
+def test_instret_excludes_trapped_instruction():
+    p = make_process([Instr(Op.NOP), Instr(Op.ABORT)])
+    p.run(10)
+    assert p.cpu.instret == 1  # ABORT did not retire
+
+
+def test_run_profiled_counts(demo_program):
+    cpu = CPU(demo_program, Memory())
+    # reuse Process.load for a proper memory map instead
+    p = Process.load(demo_program)
+    counts = [0] * len(demo_program.instrs)
+    p.cpu.run_profiled(counts, 10**6)
+    assert sum(counts) == p.cpu.instret
+    assert counts[0] == 1  # _start executes once
+    del cpu
+
+
+def test_cannot_run_terminated_process():
+    p = make_process([Instr(Op.ABORT)])
+    p.run(10)
+    with pytest.raises(Exception):
+        p.run(10)

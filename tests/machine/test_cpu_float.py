@@ -1,0 +1,120 @@
+"""CPU floating-point semantics: IEEE behaviour, no traps on fp edge cases."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isa import INT64_MIN, Instr, Op, Program
+from repro.machine import CPU, Memory
+
+FINITE = st.floats(allow_nan=False, allow_infinity=False, width=64)
+
+
+def make_cpu(instrs):
+    program = Program(instrs=list(instrs) + [Instr(Op.HALT)], functions={"main": 0})
+    return CPU(program, Memory())
+
+
+def run_fop(op, a=0.0, b=0.0):
+    cpu = make_cpu([Instr(op, rd=3, ra=1, rb=2)])
+    cpu.fregs[1] = a
+    cpu.fregs[2] = b
+    cpu.run(1)
+    return cpu.fregs[3]
+
+
+@given(FINITE, FINITE)
+@settings(max_examples=150)
+def test_fadd_matches_python(a, b):
+    assert run_fop(Op.FADD, a, b) == a + b
+
+
+@given(FINITE, FINITE)
+@settings(max_examples=100)
+def test_fmul_matches_python(a, b):
+    assert run_fop(Op.FMUL, a, b) == a * b
+
+
+def test_fdiv_by_zero_is_inf_not_trap():
+    assert run_fop(Op.FDIV, 1.0, 0.0) == math.inf
+    assert run_fop(Op.FDIV, -1.0, 0.0) == -math.inf
+    assert run_fop(Op.FDIV, 1.0, -0.0) == -math.inf
+    assert math.isnan(run_fop(Op.FDIV, 0.0, 0.0))
+    assert math.isnan(run_fop(Op.FDIV, math.nan, 0.0))
+
+
+def test_fdiv_normal():
+    assert run_fop(Op.FDIV, 7.0, 2.0) == 3.5
+
+
+def test_fsqrt_negative_is_nan():
+    assert math.isnan(run_fop(Op.FSQRT, -1.0))
+    assert run_fop(Op.FSQRT, 4.0) == 2.0
+    assert math.isnan(run_fop(Op.FSQRT, math.nan))
+
+
+def test_fabs_fneg():
+    assert run_fop(Op.FABS, -3.5) == 3.5
+    assert run_fop(Op.FNEG, 2.0) == -2.0
+    assert run_fop(Op.FNEG, -0.0) == 0.0
+
+
+def test_fmin_fmax():
+    assert run_fop(Op.FMIN, 1.0, 2.0) == 1.0
+    assert run_fop(Op.FMAX, 1.0, 2.0) == 2.0
+
+
+def test_overflow_to_inf():
+    assert run_fop(Op.FMUL, 1e308, 1e308) == math.inf
+
+
+@pytest.mark.parametrize(
+    "op,a,b,expected",
+    [
+        (Op.FEQ, 1.0, 1.0, 1),
+        (Op.FEQ, 1.0, 2.0, 0),
+        (Op.FNE, 1.0, 2.0, 1),
+        (Op.FLT, 1.0, 2.0, 1),
+        (Op.FLE, 2.0, 2.0, 1),
+        (Op.FLT, math.nan, 1.0, 0),   # NaN compares false
+        (Op.FEQ, math.nan, math.nan, 0),
+        (Op.FNE, math.nan, math.nan, 1),
+    ],
+)
+def test_float_compares_write_int(op, a, b, expected):
+    cpu = make_cpu([Instr(op, rd=4, ra=1, rb=2)])
+    cpu.fregs[1] = a
+    cpu.fregs[2] = b
+    cpu.run(1)
+    assert cpu.iregs[4] == expected
+
+
+def test_itof():
+    cpu = make_cpu([Instr(Op.ITOF, rd=1, ra=2)])
+    cpu.iregs[2] = -7
+    cpu.run(1)
+    assert cpu.fregs[1] == -7.0
+
+
+def test_ftoi_truncates():
+    for value, expected in [(2.9, 2), (-2.9, -2), (0.0, 0)]:
+        cpu = make_cpu([Instr(Op.FTOI, rd=1, ra=2)])
+        cpu.fregs[2] = value
+        cpu.run(1)
+        assert cpu.iregs[1] == expected
+
+
+def test_ftoi_indefinite_like_x86():
+    for value in (math.nan, math.inf, -math.inf, 1e300):
+        cpu = make_cpu([Instr(Op.FTOI, rd=1, ra=2)])
+        cpu.fregs[2] = value
+        cpu.run(1)
+        assert cpu.iregs[1] == INT64_MIN
+
+
+def test_fmov_fmovi():
+    cpu = make_cpu([Instr(Op.FMOVI, rd=1, imm=2.5), Instr(Op.FMOV, rd=2, ra=1)])
+    cpu.run(2)
+    assert cpu.fregs[1] == 2.5 and cpu.fregs[2] == 2.5

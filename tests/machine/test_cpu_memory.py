@@ -1,0 +1,153 @@
+"""CPU memory instructions: loads, stores, stack ops, precise faults."""
+
+import pytest
+
+from repro.isa import DATA_BASE, STACK_TOP, Instr, Op, Program
+from repro.isa.program import DataSymbol
+from repro.isa.registers import SP
+from repro.machine import Process, Signal, Trap
+
+
+def make_process(instrs, data_cells=8):
+    program = Program(
+        instrs=list(instrs) + [Instr(Op.HALT)],
+        functions={"main": 0},
+        data_symbols={"d": DataSymbol("d", DATA_BASE, data_cells)},
+    )
+    return Process.load(program)
+
+
+def test_ld_st_roundtrip():
+    p = make_process(
+        [
+            Instr(Op.MOVI, rd=1, imm=DATA_BASE),
+            Instr(Op.MOVI, rd=2, imm=-99),
+            Instr(Op.ST, rd=2, ra=1, imm=8),
+            Instr(Op.LD, rd=3, ra=1, imm=8),
+        ]
+    )
+    p.run(100)
+    assert p.cpu.iregs[3] == -99
+
+
+def test_ldx_stx_scaling():
+    p = make_process(
+        [
+            Instr(Op.MOVI, rd=1, imm=DATA_BASE),
+            Instr(Op.MOVI, rd=2, imm=3),       # index
+            Instr(Op.MOVI, rd=3, imm=77),
+            Instr(Op.STX, rd=3, ra=1, rb=2, imm=0),
+            Instr(Op.LDX, rd=4, ra=1, rb=2, imm=0),
+        ]
+    )
+    p.run(100)
+    assert p.cpu.iregs[4] == 77
+    assert p.memory.read_int(DATA_BASE + 24) == 77
+
+
+def test_fld_fst():
+    p = make_process(
+        [
+            Instr(Op.MOVI, rd=1, imm=DATA_BASE),
+            Instr(Op.FMOVI, rd=2, imm=2.75),
+            Instr(Op.FST, rd=2, ra=1, imm=16),
+            Instr(Op.FLD, rd=5, ra=1, imm=16),
+        ]
+    )
+    p.run(100)
+    assert p.cpu.fregs[5] == 2.75
+
+
+def test_push_pop():
+    p = make_process(
+        [
+            Instr(Op.MOVI, rd=1, imm=123),
+            Instr(Op.PUSH, ra=1),
+            Instr(Op.POP, rd=2),
+        ]
+    )
+    p.run(100)
+    assert p.cpu.iregs[2] == 123
+    assert p.cpu.iregs[SP] == STACK_TOP  # balanced
+
+
+def test_fpush_fpop():
+    p = make_process(
+        [
+            Instr(Op.FMOVI, rd=1, imm=1.25),
+            Instr(Op.FPUSH, ra=1),
+            Instr(Op.FPOP, rd=2),
+        ]
+    )
+    p.run(100)
+    assert p.cpu.fregs[2] == 1.25
+
+
+def test_pop_into_sp_keeps_loaded_value():
+    p = make_process(
+        [
+            Instr(Op.MOVI, rd=1, imm=STACK_TOP - 64),
+            Instr(Op.PUSH, ra=1),
+            Instr(Op.POP, rd=SP),
+        ]
+    )
+    p.run(100)
+    assert p.cpu.iregs[SP] == STACK_TOP - 64
+
+
+def test_null_load_segfaults_precisely():
+    p = make_process([Instr(Op.MOVI, rd=1, imm=0), Instr(Op.LD, rd=2, ra=1)])
+    result = p.run(100)
+    assert result.reason == "terminated"
+    assert result.signal is Signal.SIGSEGV
+    assert result.trap.pc == 1
+    assert result.trap.address == 0
+    assert p.cpu.iregs[2] == 0  # destination untouched (precise)
+
+
+def test_misaligned_access_sigbus():
+    p = make_process(
+        [Instr(Op.MOVI, rd=1, imm=DATA_BASE + 1), Instr(Op.LD, rd=2, ra=1)]
+    )
+    result = p.run(100)
+    assert result.signal is Signal.SIGBUS
+
+
+def test_store_fault_does_not_move_sp():
+    # push with sp pointing into unmapped space: sp must stay unchanged
+    p = make_process([Instr(Op.MOVI, rd=SP, imm=0x10), Instr(Op.PUSH, ra=1)])
+    result = p.run(100)
+    assert result.signal is Signal.SIGSEGV
+    assert p.cpu.iregs[SP] == 0x10
+
+
+def test_pop_fault_does_not_change_rd():
+    p = make_process(
+        [
+            Instr(Op.MOVI, rd=2, imm=55),
+            Instr(Op.MOVI, rd=SP, imm=0x10),
+            Instr(Op.POP, rd=2),
+        ]
+    )
+    p.run(100)
+    assert p.cpu.iregs[2] == 55
+
+
+def test_stack_overflow_segfaults():
+    instrs = [Instr(Op.MOVI, rd=1, imm=7)]
+    # push far beyond the stack reservation
+    loop = [
+        Instr(Op.PUSH, ra=1),
+        Instr(Op.JMP, imm=1),
+    ]
+    p = make_process(instrs + loop)
+    result = p.run(10**6)
+    assert result.reason == "terminated"
+    assert result.signal is Signal.SIGSEGV
+
+
+def test_trap_exception_str():
+    p = make_process([Instr(Op.MOVI, rd=1, imm=0), Instr(Op.LD, rd=2, ra=1)])
+    result = p.run(100)
+    text = str(result.trap)
+    assert "SIGSEGV" in text and "pc=1" in text

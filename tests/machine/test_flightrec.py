@@ -1,0 +1,77 @@
+"""Flight recorder post-mortems."""
+
+from repro.isa import Instr, Op, Program
+from repro.machine import Process, Signal
+from repro.machine.flightrec import record
+
+
+def make_process(instrs):
+    return Process.load(Program(instrs=list(instrs), functions={"main": 0}))
+
+
+def test_records_clean_run():
+    p = make_process(
+        [
+            Instr(Op.MOVI, rd=1, imm=1),
+            Instr(Op.ADDI, rd=1, ra=1, imm=2),
+            Instr(Op.HALT),
+        ]
+    )
+    rec = record(p, max_steps=100)
+    assert rec.stopped_by is None
+    assert rec.steps == 3
+    assert [e.pc for e in rec.entries] == [0, 1, 2]
+    assert "movi" in rec.entries[0].text
+
+
+def test_window_keeps_tail_only():
+    loop = [
+        Instr(Op.MOVI, rd=1, imm=50),       # 0
+        Instr(Op.SUBI, rd=1, ra=1, imm=1),  # 1
+        Instr(Op.BNEZ, ra=1, imm=1),        # 2
+        Instr(Op.HALT),                     # 3
+    ]
+    rec = record(make_process(loop), max_steps=10_000, window=8)
+    assert len(rec.entries) == 8
+    assert rec.entries[-1].pc == 3  # the halt is recorded? no: halt retires
+    assert rec.steps > 8
+
+
+def test_captures_trap_and_tail():
+    p = make_process(
+        [
+            Instr(Op.MOVI, rd=1, imm=5),
+            Instr(Op.MOVI, rd=2, imm=0),
+            Instr(Op.LD, rd=3, ra=2),  # null deref
+            Instr(Op.HALT),
+        ]
+    )
+    rec = record(p, max_steps=100)
+    assert rec.stopped_by is not None
+    assert rec.stopped_by.signal is Signal.SIGSEGV
+    # the faulting instruction did not retire, so the tail ends before it
+    assert [e.pc for e in rec.entries] == [0, 1]
+    assert rec.final_regs["pc"] == 2
+
+
+def test_final_regs_snapshot():
+    p = make_process([Instr(Op.MOVI, rd=4, imm=-9), Instr(Op.HALT)])
+    rec = record(p, max_steps=10)
+    assert rec.final_regs["r4"] == -9
+    assert "sp" in rec.final_regs and "f0" in rec.final_regs
+
+
+def test_render_and_tail():
+    p = make_process(
+        [Instr(Op.MOVI, rd=1, imm=1), Instr(Op.NOP), Instr(Op.HALT)]
+    )
+    rec = record(p, max_steps=10)
+    text = rec.render()
+    assert "flight recording" in text and "pc=" in text
+    assert len(rec.tail(2)) == 2
+
+
+def test_budget_stop():
+    rec = record(make_process([Instr(Op.JMP, imm=0)]), max_steps=25)
+    assert rec.steps == 25
+    assert rec.stopped_by is None

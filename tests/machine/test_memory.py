@@ -1,0 +1,142 @@
+"""Memory: segments, protection, alignment, typed views."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machine.memory import (
+    AccessError,
+    Memory,
+    float_to_pattern,
+    int_to_pattern,
+    pattern_to_float,
+    pattern_to_int,
+)
+
+
+@pytest.fixture
+def mem():
+    m = Memory()
+    m.map_segment("data", 0x1000, 0x1000)
+    m.map_segment("stack", 0x8000, 0x800)
+    return m
+
+
+def test_read_unwritten_is_zero(mem):
+    assert mem.read_pattern(0x1000) == 0
+    assert mem.read_int(0x1008) == 0
+    assert mem.read_float(0x1010) == 0.0
+
+
+def test_write_read_pattern(mem):
+    mem.write_pattern(0x1000, 0xDEADBEEF)
+    assert mem.read_pattern(0x1000) == 0xDEADBEEF
+
+
+def test_unmapped_read_segv(mem):
+    with pytest.raises(AccessError) as info:
+        mem.read_pattern(0x0)
+    assert info.value.kind == "segv"
+    assert info.value.mode == "read"
+
+
+def test_unmapped_write_segv(mem):
+    with pytest.raises(AccessError) as info:
+        mem.write_pattern(0x7FF8, 1)  # just below the stack segment
+    assert info.value.kind == "segv"
+
+
+def test_misaligned_bus(mem):
+    with pytest.raises(AccessError) as info:
+        mem.read_pattern(0x1001)
+    assert info.value.kind == "bus"
+    with pytest.raises(AccessError) as info:
+        mem.write_pattern(0x1004, 1)
+    assert info.value.kind == "bus"
+
+
+def test_segment_end_exclusive(mem):
+    mem.write_pattern(0x1FF8, 5)  # last cell of data
+    with pytest.raises(AccessError):
+        mem.write_pattern(0x2000, 5)
+
+
+def test_negative_address_segv(mem):
+    with pytest.raises(AccessError):
+        mem.read_pattern(-8)
+
+
+def test_overlapping_segments_rejected():
+    m = Memory()
+    m.map_segment("a", 0x1000, 0x100)
+    with pytest.raises(ValueError):
+        m.map_segment("b", 0x1080, 0x100)
+
+
+def test_unaligned_segment_rejected():
+    with pytest.raises(ValueError):
+        Memory().map_segment("x", 0x1001, 0x100)
+
+
+def test_segment_for(mem):
+    assert mem.segment_for(0x1000).name == "data"
+    assert mem.segment_for(0x8000).name == "stack"
+    assert mem.segment_for(0x0) is None
+
+
+def test_is_mapped(mem):
+    assert mem.is_mapped(0x1000)
+    assert not mem.is_mapped(0x3000)
+
+
+def test_int_roundtrip_signed(mem):
+    mem.write_int(0x1000, -1)
+    assert mem.read_int(0x1000) == -1
+    assert mem.read_pattern(0x1000) == (1 << 64) - 1
+
+
+def test_float_roundtrip(mem):
+    mem.write_float(0x1000, -2.5)
+    assert mem.read_float(0x1000) == -2.5
+
+
+def test_type_punning(mem):
+    mem.write_float(0x1000, 1.0)
+    assert mem.read_int(0x1000) == 0x3FF0000000000000
+
+
+def test_written_cells_and_clear(mem):
+    mem.write_pattern(0x1000, 7)
+    assert mem.written_cells() == {0x1000: 7}
+    mem.clear()
+    assert mem.read_pattern(0x1000) == 0
+    assert mem.is_mapped(0x1000)  # map survives clear
+
+
+@given(st.integers(0, (1 << 64) - 1))
+@settings(max_examples=200)
+def test_pattern_int_roundtrip(pattern):
+    assert int_to_pattern(pattern_to_int(pattern)) == pattern
+
+
+@given(st.floats(width=64, allow_nan=False))
+@settings(max_examples=200)
+def test_pattern_float_roundtrip(value):
+    assert pattern_to_float(float_to_pattern(value)) == value
+
+
+def test_nan_pattern_preserved():
+    pattern = 0x7FF8DEADBEEF0001
+    value = pattern_to_float(pattern)
+    assert math.isnan(value)
+    assert float_to_pattern(value) == pattern
+
+
+@given(st.integers(-(2**63), 2**63 - 1), st.integers(0, 63))
+@settings(max_examples=200)
+def test_flip_twice_is_identity(value, bit):
+    pattern = int_to_pattern(value)
+    flipped = pattern ^ (1 << bit)
+    assert pattern_to_int(flipped ^ (1 << bit)) == value

@@ -1,0 +1,90 @@
+"""Process: loading, memory map, status lifecycle, register snapshots."""
+
+import pytest
+
+from repro.errors import LoaderError
+from repro.isa import (
+    DATA_BASE,
+    STACK_LIMIT,
+    STACK_TOP,
+    Instr,
+    Op,
+    Program,
+)
+from repro.isa.program import DataSymbol
+from repro.isa.registers import BP, SP
+from repro.machine import Process, ProcessStatus
+
+
+def test_load_sets_sp_bp_pc(demo_program):
+    p = Process.load(demo_program)
+    assert p.cpu.iregs[SP] == STACK_TOP
+    assert p.cpu.iregs[BP] == STACK_TOP
+    assert p.cpu.pc == demo_program.entry_pc
+    assert p.status is ProcessStatus.RUNNING
+
+
+def test_data_segment_mapped_and_initialised(demo_program):
+    p = Process.load(demo_program)
+    cnt = demo_program.data_symbols["cnt"]
+    assert p.memory.read_int(cnt.addr) == 5
+    vals = demo_program.data_symbols["vals"]
+    assert p.memory.read_float(vals.addr) == 1.5
+    assert p.memory.read_float(vals.addr + 8) == 2.5
+
+
+def test_stack_mapped():
+    program = Program(instrs=[Instr(Op.HALT)], functions={"main": 0})
+    p = Process.load(program)
+    assert p.memory.is_mapped(STACK_LIMIT)
+    assert p.memory.is_mapped(STACK_TOP - 8)
+    assert not p.memory.is_mapped(STACK_TOP)
+    assert not p.memory.is_mapped(STACK_LIMIT - 8)
+
+
+def test_no_data_segment_when_no_globals():
+    program = Program(instrs=[Instr(Op.HALT)], functions={"main": 0})
+    p = Process.load(program)
+    assert not p.memory.is_mapped(DATA_BASE)
+
+
+def test_empty_program_rejected():
+    with pytest.raises(LoaderError):
+        Process.load(Program(instrs=[], functions={}))
+
+
+def test_run_to_exit(demo_program):
+    p = Process.load(demo_program)
+    result = p.run(10**6)
+    assert result.reason == "exited"
+    assert p.status is ProcessStatus.EXITED
+    assert p.output == [("f", 30.0), ("i", 5)]
+
+
+def test_fresh_loads_independent(demo_program):
+    a = Process.load(demo_program)
+    b = Process.load(demo_program)
+    a.run(10**6)
+    assert b.cpu.instret == 0
+    assert b.status is ProcessStatus.RUNNING
+
+
+def test_terminated_process_records_trap():
+    program = Program(
+        instrs=[Instr(Op.MOVI, rd=1, imm=0), Instr(Op.LD, rd=2, ra=1)],
+        functions={"main": 0},
+    )
+    p = Process.load(program)
+    result = p.run(10)
+    assert p.status is ProcessStatus.TERMINATED
+    assert p.term_signal is result.signal
+    assert p.last_trap is result.trap
+
+
+def test_snapshot_registers(demo_program):
+    p = Process.load(demo_program)
+    snap = p.snapshot_registers()
+    assert snap["sp"] == STACK_TOP
+    assert snap["pc"] == demo_program.entry_pc
+    assert snap["f0"] == 0.0
+    assert len([k for k in snap if k.startswith("r")]) == 14  # r0..r13

@@ -1,0 +1,37 @@
+"""Signal model: numbers, default membership, trap formatting."""
+
+from repro.machine import LETGO_DEFAULT_SIGNALS, Signal, Trap
+
+
+def test_linux_numbers():
+    assert Signal.SIGABRT == 6
+    assert Signal.SIGBUS == 7
+    assert Signal.SIGFPE == 8
+    assert Signal.SIGSEGV == 11
+
+
+def test_letgo_default_signals_match_table1():
+    assert LETGO_DEFAULT_SIGNALS == {
+        Signal.SIGSEGV,
+        Signal.SIGBUS,
+        Signal.SIGABRT,
+    }
+    assert Signal.SIGFPE not in LETGO_DEFAULT_SIGNALS
+
+
+def test_trap_str_with_address():
+    trap = Trap(Signal.SIGSEGV, pc=7, detail="boom", address=0x1234)
+    text = str(trap)
+    assert "SIGSEGV" in text
+    assert "pc=7" in text
+    assert "0x1234" in text
+    assert "boom" in text
+
+
+def test_trap_str_without_address():
+    trap = Trap(Signal.SIGABRT, pc=3, detail="abort")
+    assert "addr" not in str(trap)
+
+
+def test_trap_is_exception():
+    assert issubclass(Trap, Exception)

@@ -1,0 +1,156 @@
+"""Cluster scheduling + message passing."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.lang import compile_source
+from repro.machine import Process, Signal
+from repro.machine.cluster import Cluster, Network
+
+RING = """
+func main() -> int {
+    var int me = myrank();
+    var int np = nranks();
+    var int nxt = me + 1;
+    if (nxt == np) { nxt = 0; }
+    var int prev = me - 1;
+    if (prev < 0) { prev = np - 1; }
+    var int tok;
+    if (me == 0) {
+        sendi(nxt, 100);
+        tok = recvi(prev);
+        out(tok);
+    } else {
+        tok = recvi(prev);
+        sendi(nxt, tok + me);
+    }
+    return 0;
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def ring_program():
+    return compile_source(RING, "ring")
+
+
+def test_network_basics():
+    net = Network(3)
+    assert net.valid_rank(0) and net.valid_rank(2)
+    assert not net.valid_rank(3) and not net.valid_rank(-1)
+    net.send(0, 1, 42)
+    net.send(0, 1, 43)
+    assert net.pending(1, 0) == 2
+    assert net.recv(1, 0) == 42
+    assert net.recv(1, 0) == 43
+    assert net.recv(1, 0) is None
+    assert net.in_flight() == 0
+
+
+def test_network_capture_reset():
+    net = Network(2)
+    net.send(0, 1, 7)
+    state = net.capture()
+    assert net.recv(1, 0) == 7
+    net.reset(state)
+    assert net.recv(1, 0) == 7
+
+
+def test_bad_cluster_size():
+    with pytest.raises(SimulationError):
+        Network(0)
+
+
+@pytest.mark.parametrize("size", [2, 3, 5, 8])
+def test_ring_token(ring_program, size):
+    cluster = Cluster(ring_program, size)
+    event = cluster.run(10**7)
+    assert event.kind == "exited"
+    expected = 100 + sum(range(1, size))
+    assert cluster.outputs()[0] == [("i", expected)]
+
+
+def test_ring_deterministic(ring_program):
+    a = Cluster(ring_program, 4)
+    b = Cluster(ring_program, 4)
+    a.run(10**7)
+    b.run(10**7)
+    assert a.outputs() == b.outputs()
+    assert a.total_steps() == b.total_steps()
+
+
+def test_deadlock_detected():
+    program = compile_source(
+        "func main() -> int { var int v = recvi(myrank()); out(v); return 0; }",
+        "deadlock",
+    )
+    cluster = Cluster(program, 2)
+    event = cluster.run(10**6)
+    assert event.kind == "deadlock"
+
+
+def test_trap_reports_rank():
+    # ranks > 0 divide by zero; rank 0 would finish
+    program = compile_source(
+        """
+        func main() -> int {
+            var int z = 0;
+            if (myrank() > 0) { out(1 / z); }
+            return 0;
+        }
+        """,
+        "trapper",
+    )
+    cluster = Cluster(program, 3)
+    event = cluster.run(10**6)
+    assert event.kind == "trap"
+    assert event.rank in (1, 2)
+    assert event.trap.signal is Signal.SIGFPE
+
+
+def test_send_to_invalid_rank_is_sigbus():
+    program = compile_source(
+        "func main() -> int { sendi(99, 1); return 0; }", "badrank"
+    )
+    cluster = Cluster(program, 2)
+    event = cluster.run(10**6)
+    assert event.kind == "trap"
+    assert event.trap.signal is Signal.SIGBUS
+
+
+def test_comm_outside_cluster_is_sigbus():
+    program = compile_source(
+        "func main() -> int { sendi(0, 1); return 0; }", "solo"
+    )
+    process = Process.load(program)
+    result = process.run(10**4)
+    assert result.reason == "terminated"
+    assert result.signal is Signal.SIGBUS
+
+
+def test_rank_nranks_outside_cluster():
+    program = compile_source(
+        "func main() -> int { out(myrank()); out(nranks()); return 0; }", "solo2"
+    )
+    process = Process.load(program)
+    process.run(10**4)
+    assert process.output_values() == [0, 1]
+
+
+def test_budget_event(ring_program):
+    cluster = Cluster(ring_program, 4)
+    event = cluster.run(10)
+    assert event.kind == "budget"
+    assert event.steps <= 10 + 4  # quantum slicing slack
+
+
+def test_replace_process(ring_program):
+    cluster = Cluster(ring_program, 2)
+    cluster.run(50)
+    fresh = Process.load(ring_program)
+    cluster.replace_process(0, fresh)
+    assert cluster.process(0) is fresh
+    assert fresh.cpu.rank == 0
+    assert fresh.cpu.network is cluster.network
+    event = cluster.run(10**7)
+    assert event.kind in ("exited", "deadlock")  # old messages may misalign

@@ -1,0 +1,32 @@
+"""Reporting helpers."""
+
+from repro.reporting import ascii_table, pct, pct_ci
+
+
+def test_ascii_table_alignment():
+    text = ascii_table(["name", "v"], [["a", 1], ["longer", 22]])
+    lines = text.splitlines()
+    assert lines[0].startswith("name")
+    assert "-" in lines[1]
+    assert lines[2].index("1") == lines[3].index("2")
+
+
+def test_ascii_table_title():
+    text = ascii_table(["x"], [[1]], title="Table 3")
+    assert text.splitlines()[0] == "Table 3"
+
+
+def test_ascii_table_wide_cells():
+    text = ascii_table(["h"], [["wider-than-header"]])
+    assert "wider-than-header" in text
+
+
+def test_pct():
+    assert pct(0.625) == "62.50%"
+    assert pct(0.625, digits=0) == "62%"
+
+
+def test_pct_ci():
+    text = pct_ci(0.5, 0.012)
+    assert text.startswith("50.00%")
+    assert "±1.20" in text

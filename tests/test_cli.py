@@ -1,0 +1,94 @@
+"""CLI smoke tests."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_apps(capsys):
+    assert main(["apps"]) == 0
+    out = capsys.readouterr().out
+    assert "lulesh" in out and "pennant" in out and "direct" in out
+
+
+def test_objdump(capsys):
+    assert main(["objdump", "--app", "hpl"]) == 0
+    out = capsys.readouterr().out
+    assert "factor" in out and "frame=" in out
+
+
+def test_golden(capsys):
+    assert main(["golden", "--app", "pennant"]) == 0
+    out = capsys.readouterr().out
+    assert "acceptance check: PASS" in out
+
+
+def test_inject_baseline(capsys):
+    code = main(
+        ["inject", "--app", "pennant", "--dyn-index", "5000", "--bit", "1"]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "outcome:" in out
+
+
+def test_inject_with_letgo(capsys):
+    code = main(
+        [
+            "inject",
+            "--app",
+            "pennant",
+            "--dyn-index",
+            "5000",
+            "--bit",
+            "45",
+            "--letgo",
+            "LetGo-E",
+        ]
+    )
+    assert code == 0
+    assert "interventions:" in capsys.readouterr().out
+
+
+def test_campaign(capsys):
+    assert main(["campaign", "--app", "pennant", "-n", "8", "--seed", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "continuability" in out
+    assert "crash rate" in out
+
+
+def test_simulate_paper_params(capsys):
+    assert main(["simulate", "--app", "lulesh", "--t-chk", "120"]) == 0
+    out = capsys.readouterr().out
+    assert "paper Table 3" in out and "gain" in out
+
+
+def test_simulate_estimated(capsys):
+    code = main(
+        ["simulate", "--app", "pennant", "--estimate", "-n", "10",
+         "--t-chk", "120", "--years", "0.2"]
+    )
+    assert code == 0
+    assert "fresh campaign" in capsys.readouterr().out
+
+
+def test_unknown_variant_rejected():
+    with pytest.raises(SystemExit):
+        main(["inject", "--app", "hpl", "--dyn-index", "10", "--letgo", "LetGo-X"])
+
+
+def test_requires_command():
+    with pytest.raises(SystemExit):
+        main([])
+
+
+def test_sites(capsys):
+    assert main(["sites", "--app", "pennant", "-n", "15"]) == 0
+    out = capsys.readouterr().out
+    assert "instr class" in out and "crash" in out
+
+
+def test_parallel(capsys):
+    assert main(["parallel", "--ranks", "2", "--seeds", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "cr+letgo" in out and "efficiency" in out
