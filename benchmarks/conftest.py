@@ -50,11 +50,15 @@ def apps():
 
 @pytest.fixture(scope="session")
 def iterative_campaigns(apps):
-    """Paired LetGo-B / LetGo-E campaigns for the five iterative apps."""
+    """Paired LetGo-B / LetGo-E campaigns for the five iterative apps.
+
+    Runs on the campaign engine with all cores (``jobs=None``); results
+    are identical to the serial loop for the same seed.
+    """
     results = {}
     for name in app_names(iterative_only=True):
         results[name] = run_paired_campaigns(
-            apps[name], BENCH_N, SEED, configs=[LETGO_B, LETGO_E]
+            apps[name], BENCH_N, SEED, configs=[LETGO_B, LETGO_E], jobs=None
         )
     return results
 
@@ -63,5 +67,5 @@ def iterative_campaigns(apps):
 def hpl_campaign(apps):
     """LetGo-E campaign on the direct-method app (paper section 8)."""
     return run_paired_campaigns(
-        apps["hpl"], BENCH_N, SEED, configs=[LETGO_B, LETGO_E]
+        apps["hpl"], BENCH_N, SEED, configs=[LETGO_B, LETGO_E], jobs=None
     )

@@ -20,19 +20,26 @@ from abc import ABC, abstractmethod
 from dataclasses import dataclass
 from functools import cached_property
 
+from typing import TYPE_CHECKING
+
 from repro.analysis.functions import FunctionTable
 from repro.analysis.profiler import Profile, profile_program
 from repro.isa.program import Program
 from repro.lang.compiler import CompiledUnit, compile_unit
 from repro.machine.process import Process
 
+if TYPE_CHECKING:  # checkpoint.driver imports apps.base; break the cycle
+    from repro.checkpoint.snapshot import SnapshotLadder
+
 Output = list[tuple[str, int | float]]
 
-# Compilation and golden profiling are deterministic functions of the
-# source text; share them across app instances (tests, CLI, benches all
-# instantiate apps freely).
+# Compilation, golden profiling and golden-run snapshot ladders are
+# deterministic functions of the source text (plus the ladder interval);
+# share them across app instances (tests, CLI, benches all instantiate
+# apps freely, and campaign workers re-derive apps from their spec).
 _UNIT_CACHE: dict[str, CompiledUnit] = {}
 _PROFILE_CACHE: dict[str, Profile] = {}
+_LADDER_CACHE: dict[tuple[str, int], "SnapshotLadder"] = {}
 
 
 @dataclass(frozen=True)
@@ -149,6 +156,38 @@ class MiniApp(ABC):
     def max_steps(self) -> int:
         """Per-run instruction budget (beyond it: hang)."""
         return int(self.golden.instret * self.hang_factor) + 10_000
+
+    # -- snapshot ladder -----------------------------------------------------
+
+    @property
+    def default_ladder_interval(self) -> int:
+        """Rung spacing balancing fast-forward cost against rung count.
+
+        ~64 rungs across the golden run: the mean fast-forward after a
+        restore is interval/2 (< 1% of the run), while the ladder itself
+        stays a few dozen small snapshots.
+        """
+        return max(256, self.golden.instret // 64)
+
+    def ladder(self, interval: int | None = None) -> "SnapshotLadder":
+        """Golden-run snapshot ladder (cached by source text + interval).
+
+        One fault-free run per (app, interval), captured every *interval*
+        retired instructions; injection runs restore the nearest rung at
+        or below their target instead of replaying the prefix from zero.
+        """
+        from repro.checkpoint.snapshot import build_ladder
+
+        if interval is None:
+            interval = self.default_ladder_interval
+        key = (self.source, interval)
+        ladder = _LADDER_CACHE.get(key)
+        if ladder is None:
+            ladder = build_ladder(
+                self.program, interval, max_steps=self.max_steps
+            )
+            _LADDER_CACHE[key] = ladder
+        return ladder
 
     # -- Table 2 semantics ---------------------------------------------------
 

@@ -13,12 +13,22 @@ from repro.checkpoint.driver import (
     Policy,
     drive,
 )
-from repro.checkpoint.snapshot import Snapshot, restore, snapshot
+from repro.checkpoint.snapshot import (
+    Snapshot,
+    SnapshotLadder,
+    build_ladder,
+    restore,
+    restore_into,
+    snapshot,
+)
 
 __all__ = [
     "Snapshot",
     "snapshot",
     "restore",
+    "restore_into",
+    "SnapshotLadder",
+    "build_ladder",
     "Policy",
     "CRParams",
     "CRRunResult",

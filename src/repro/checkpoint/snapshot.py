@@ -6,14 +6,23 @@ can be restored onto a fresh process of the same program image.  This is
 the in-vivo equivalent of writing a checkpoint to stable storage; the
 *cost* of doing so is accounted separately by the driver (a platform
 parameter), because on this substrate the copy itself is nearly free.
+
+On top of the single-snapshot primitive this module builds the
+:class:`SnapshotLadder`: one golden run captured at a fixed retirement
+interval.  Replaying a prefix of the golden path to dynamic instruction D
+then costs one restore plus at most ``interval`` interpreted steps instead
+of D steps -- the amortization the fault-injection campaign engine is
+built on.
 """
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from dataclasses import dataclass, field
 
 from repro.errors import SimulationError
 from repro.isa.program import Program
+from repro.machine.cpu import STOP_HALT
 from repro.machine.process import Process, ProcessStatus
 
 
@@ -51,6 +60,29 @@ def snapshot(process: Process) -> Snapshot:
     )
 
 
+def restore_into(process: Process, snap: Snapshot) -> Process:
+    """Reset *process* (same program image) to the snapshot's state.
+
+    The process may be mid-flight or finished; everything architectural is
+    overwritten and its status returns to RUNNING.  This is the in-place
+    fast path :func:`restore` is built on.
+    """
+    if process.program.checksum() != snap.checksum:
+        raise SimulationError("snapshot belongs to a different program image")
+    cpu = process.cpu
+    cpu.iregs[:] = snap.iregs
+    cpu.fregs[:] = snap.fregs
+    cpu.pc = snap.pc
+    cpu.instret = snap.instret
+    cpu.output[:] = snap.output
+    cpu.halted = False
+    process.memory.load_cells(snap.cells)
+    process.status = ProcessStatus.RUNNING
+    process.term_signal = None
+    process.last_trap = None
+    return process
+
+
 def restore(program: Program, snap: Snapshot) -> Process:
     """Materialise a fresh process at the snapshot's state.
 
@@ -58,17 +90,80 @@ def restore(program: Program, snap: Snapshot) -> Process:
     """
     if program.checksum() != snap.checksum:
         raise SimulationError("snapshot belongs to a different program image")
+    return restore_into(Process.load(program), snap)
+
+
+@dataclass(frozen=True)
+class SnapshotLadder:
+    """Golden-run checkpoints at a fixed retirement interval.
+
+    Rung *i* holds the process state after ``(i + 1) * interval`` retired
+    instructions of the fault-free run (the state at instret 0 is a plain
+    ``Process.load``, so it needs no rung).  ``total`` is the golden
+    retirement count; rungs stop strictly before it.
+    """
+
+    checksum: str
+    interval: int
+    rungs: tuple[Snapshot, ...]
+    total: int
+
+    def __post_init__(self) -> None:
+        instrets = [r.instret for r in self.rungs]
+        if instrets != sorted(set(instrets)):
+            raise SimulationError("ladder rungs must be strictly ascending")
+
+    def __len__(self) -> int:
+        return len(self.rungs)
+
+    def nearest(self, instret: int) -> Snapshot | None:
+        """Highest rung with ``rung.instret <= instret`` (None: start cold).
+
+        The returned snapshot is the cheapest launch point for reaching
+        retirement count *instret* on the golden path.
+        """
+        instrets = [r.instret for r in self.rungs]
+        pos = bisect_right(instrets, instret)
+        return self.rungs[pos - 1] if pos else None
+
+
+def build_ladder(
+    program: Program, interval: int, max_steps: int | None = None
+) -> SnapshotLadder:
+    """One golden run of *program*, snapshotted every *interval* retirements.
+
+    ``max_steps`` bounds the run (default: 64 intervals past 2**24, a
+    safety net -- golden runs of well-formed apps halt long before).  The
+    golden path must be trap-free; a trap propagates to the caller.
+    """
+    if interval < 1:
+        raise ValueError("ladder interval must be >= 1")
     process = Process.load(program)
     cpu = process.cpu
-    cpu.iregs[:] = list(snap.iregs)
-    cpu.fregs[:] = list(snap.fregs)
-    cpu.pc = snap.pc
-    cpu.instret = snap.instret
-    cpu.output[:] = list(snap.output)
-    process.memory.clear()
-    for addr, pattern in snap.cells.items():
-        process.memory.write_pattern(addr, pattern)
-    return process
+    budget = max_steps if max_steps is not None else (1 << 24)
+    rungs: list[Snapshot] = []
+    while cpu.instret < budget:
+        stop = cpu.run(interval)
+        if stop == STOP_HALT:
+            break
+        rungs.append(snapshot(process))
+    else:
+        raise SimulationError(
+            f"golden run exceeded {budget} instructions while building ladder"
+        )
+    return SnapshotLadder(
+        checksum=program.checksum(),
+        interval=interval,
+        rungs=tuple(rungs),
+        total=cpu.instret,
+    )
 
 
-__all__ = ["Snapshot", "snapshot", "restore"]
+__all__ = [
+    "Snapshot",
+    "snapshot",
+    "restore",
+    "restore_into",
+    "SnapshotLadder",
+    "build_ladder",
+]

@@ -10,8 +10,9 @@ Commands
     Run an app to completion and print its output + acceptance verdict.
 ``inject --app NAME --dyn-index K --bit B [--letgo VARIANT]``
     One fault-injection run, with or without LetGo.
-``campaign --app NAME -n N [--seed S] [--letgo VARIANT]``
-    An injection campaign with the Table-3 breakdown and Eq. 1-4 metrics.
+``campaign --app NAME -n N [--seed S] [--letgo VARIANT] [--jobs J] [--ladder-interval K]``
+    An injection campaign with the Table-3 breakdown and Eq. 1-4 metrics,
+    run on the snapshot-ladder/multiprocess campaign engine.
 ``simulate --app NAME --t-chk SECONDS [--mtbfaults S] [--years Y]``
     The Figure-6 C/R simulation with and without LetGo.
 ``sites --app NAME -n N``
@@ -104,11 +105,14 @@ def _cmd_inject(args: argparse.Namespace) -> int:
 
 
 def _cmd_campaign(args: argparse.Namespace) -> int:
+    from repro.faultinject import CampaignEngine
+
     app = make_app(args.app)
     config = _variant(args.letgo)
-    campaign = run_campaign(
-        app, args.n, seed=args.seed, config=config, keep_results=False
+    engine = CampaignEngine(
+        jobs=args.jobs, ladder_interval=args.ladder_interval, keep_results=False
     )
+    campaign = engine.run(app, args.n, seed=args.seed, config=config)
     rows = [
         [outcome.value, count, pct(count / args.n)]
         for outcome, count in sorted(campaign.counts.items(), key=lambda kv: -kv[1])
@@ -123,6 +127,8 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         print(f"continued_sdc     : {pct_ci(m.continued_sdc.value, m.continued_sdc.half_width)}")
     print(f"crash rate        : {pct_ci(campaign.crash_rate().value, campaign.crash_rate().half_width)}")
     print(f"overall SDC rate  : {pct_ci(campaign.sdc_rate().value, campaign.sdc_rate().half_width)}")
+    if engine.stats is not None:
+        print(f"engine            : {engine.stats.describe()}")
     return 0
 
 
@@ -216,6 +222,13 @@ def _cmd_parallel(args: argparse.Namespace) -> int:
     return 0
 
 
+def _ladder_interval(text: str) -> int:
+    value = int(text)
+    if value < 0:
+        raise argparse.ArgumentTypeError("must be >= 0 (0 disables the ladder)")
+    return value
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="LetGo (HPDC'17) reproduction toolkit"
@@ -242,6 +255,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-n", type=int, default=100)
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--letgo", choices=sorted(VARIANTS), default="LetGo-E")
+    p.add_argument("--jobs", type=int, default=None, metavar="J",
+                   help="worker processes (default: all cores; results are "
+                        "identical to --jobs 1 for the same seed)")
+    p.add_argument("--ladder-interval", type=_ladder_interval, default=None,
+                   metavar="K",
+                   help="snapshot-ladder rung spacing in retired "
+                        "instructions (default: auto; 0 disables the ladder)")
 
     p = sub.add_parser("simulate", help="C/R efficiency with vs without LetGo")
     p.add_argument("--app", required=True, choices=list(PAPER_APP_PARAMS))

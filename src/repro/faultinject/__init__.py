@@ -10,6 +10,12 @@ from repro.faultinject.campaign import (
     run_campaign,
     run_paired_campaigns,
 )
+from repro.faultinject.engine import (
+    NO_LADDER,
+    CampaignEngine,
+    EngineStats,
+    run_campaign_engine,
+)
 from repro.faultinject.fault_model import (
     InjectionPlan,
     flip_bit,
@@ -55,6 +61,10 @@ __all__ = [
     "CampaignResult",
     "run_campaign",
     "run_paired_campaigns",
+    "CampaignEngine",
+    "EngineStats",
+    "run_campaign_engine",
+    "NO_LADDER",
     "Outcome",
     "FINISHED_OUTCOMES",
     "LETGO_CRASH_OUTCOMES",

@@ -10,15 +10,15 @@ is what makes the Figure-5 B-vs-E comparison tight at moderate N.
 
 from __future__ import annotations
 
-from collections import Counter
 from dataclasses import dataclass, field
+from typing import Sequence
 
 import numpy as np
 
 from repro.apps.base import MiniApp
 from repro.core.config import LetGoConfig
 from repro.faultinject.fault_model import InjectionPlan, plan_injections
-from repro.faultinject.injector import InjectionResult, run_injection
+from repro.faultinject.injector import InjectionResult
 from repro.faultinject.metrics import (
     LetGoMetrics,
     Proportion,
@@ -39,6 +39,44 @@ class CampaignResult:
     n: int
     counts: dict[Outcome, int]
     results: list[InjectionResult] = field(default_factory=list, repr=False)
+
+    # -- combination -------------------------------------------------------
+
+    @classmethod
+    def merge(cls, shards: Sequence["CampaignResult"]) -> "CampaignResult":
+        """Pool shards of one (app, config) campaign into a single result.
+
+        Sums ``counts`` and ``n`` and concatenates ``results`` in shard
+        order; the engine's parallel merge path relies on this being exact
+        concatenation so that contiguous shards reassemble the serial
+        campaign bit-for-bit.
+        """
+        if not shards:
+            raise ValueError("nothing to merge")
+        first = shards[0]
+        for other in shards[1:]:
+            if (other.app_name, other.config_name) != (
+                first.app_name,
+                first.config_name,
+            ):
+                raise ValueError(
+                    "cannot merge campaigns of different apps or configs"
+                )
+        counts: dict[Outcome, int] = {}
+        results: list[InjectionResult] = []
+        total = 0
+        for shard in shards:
+            total += shard.n
+            results.extend(shard.results)
+            for outcome, count in shard.counts.items():
+                counts[outcome] = counts.get(outcome, 0) + count
+        return cls(
+            app_name=first.app_name,
+            config_name=first.config_name,
+            n=total,
+            counts=counts,
+            results=results,
+        )
 
     # -- basic accessors ---------------------------------------------------
 
@@ -121,29 +159,32 @@ def run_campaign(
     n: int,
     seed: int,
     config: LetGoConfig | None = None,
-    keep_results: bool = True,
+    keep_results: bool = False,
     plans: list[InjectionPlan] | None = None,
+    *,
+    jobs: int | None = 1,
+    ladder_interval: int | None = None,
 ) -> CampaignResult:
-    """Run *n* injections on *app* under *config* (None = baseline)."""
-    if plans is None:
-        rng = np.random.default_rng(seed)
-        plans = plan_injections(rng, app.golden.instret, n)
-    elif len(plans) != n:
-        raise ValueError("len(plans) must equal n")
-    counts: Counter[Outcome] = Counter()
-    results: list[InjectionResult] = []
-    for plan in plans:
-        result = run_injection(app, plan, config)
-        counts[result.outcome] += 1
-        if keep_results:
-            results.append(result)
-    return CampaignResult(
-        app_name=app.name,
-        config_name=config.name if config is not None else "baseline",
-        n=n,
-        counts=dict(counts),
-        results=results,
+    """Run *n* injections on *app* under *config* (None = baseline).
+
+    A thin wrapper over :class:`~repro.faultinject.engine.CampaignEngine`:
+    by default the golden prefix of each run is restored from the app's
+    snapshot ladder instead of replayed from instruction 0, and ``jobs``
+    fans the independent runs out across worker processes.  Results are
+    identical to the naive serial loop for the same seed regardless of
+    ``jobs``/``ladder_interval`` (pass ``ladder_interval=0`` to disable
+    the ladder).
+
+    ``keep_results`` retains the per-run :class:`InjectionResult` records;
+    it defaults to False because at large N the accumulation is unbounded
+    (matching :func:`run_paired_campaigns`).
+    """
+    from repro.faultinject.engine import CampaignEngine
+
+    engine = CampaignEngine(
+        jobs=jobs, ladder_interval=ladder_interval, keep_results=keep_results
     )
+    return engine.run(app, n, seed, config, plans=plans)
 
 
 def run_paired_campaigns(
@@ -152,10 +193,14 @@ def run_paired_campaigns(
     seed: int,
     configs: list[LetGoConfig | None],
     keep_results: bool = False,
+    *,
+    jobs: int | None = 1,
+    ladder_interval: int | None = None,
 ) -> dict[str, CampaignResult]:
     """Run the same fault population under several configurations.
 
-    Returns config-name -> result ("baseline" for None).
+    Returns config-name -> result ("baseline" for None).  ``jobs`` and
+    ``ladder_interval`` pass through to :func:`run_campaign`.
     """
     rng = np.random.default_rng(seed)
     plans = plan_injections(rng, app.golden.instret, n)
@@ -163,7 +208,14 @@ def run_paired_campaigns(
     for config in configs:
         name = config.name if config is not None else "baseline"
         out[name] = run_campaign(
-            app, n, seed, config, keep_results=keep_results, plans=plans
+            app,
+            n,
+            seed,
+            config,
+            keep_results=keep_results,
+            plans=plans,
+            jobs=jobs,
+            ladder_interval=ladder_interval,
         )
     return out
 

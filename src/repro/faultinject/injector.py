@@ -47,10 +47,19 @@ def _advance_and_flip(
     Returns (target_pc, target_reg), or None if the program halted before
     an eligible instruction appeared.  The pre-injection path is the golden
     path, so traps are impossible here by construction.
+
+    The session may already be part-way down the golden path (restored
+    from a snapshot-ladder rung); only the remaining prefix is replayed.
     """
     cpu = session.process.cpu
-    if plan.dyn_index > 1:
-        event = session.run_steps(plan.dyn_index - 1)
+    remaining = plan.dyn_index - 1 - cpu.instret
+    if remaining < 0:
+        raise InjectionError(
+            f"session already past the injection point "
+            f"(instret={cpu.instret}, dyn_index={plan.dyn_index})"
+        )
+    if remaining > 0:
+        event = session.run_steps(remaining)
         if event.kind == STOP_EXITED:
             return None
         if event.kind != STOP_STEPS_DONE:
@@ -60,6 +69,14 @@ def _advance_and_flip(
     instrs = session.process.program.instrs
     while True:
         pc = cpu.pc
+        if not 0 <= pc < len(instrs):
+            # A malformed image can step to a pc outside it without
+            # trapping until the next fetch; surface that as a golden-path
+            # failure instead of an IndexError (or a bogus negative-index
+            # fetch) on the line below.
+            raise InjectionError(
+                f"golden prefix walked off the image (pc={pc})"
+            )
         instr = instrs[pc]
         event = session.run_steps(1)
         if event.kind == STOP_TRAP:  # pragma: no cover - golden path
@@ -77,10 +94,19 @@ def run_injection(
     app: MiniApp,
     plan: InjectionPlan,
     config: LetGoConfig | None = None,
+    *,
+    session: DebugSession | None = None,
 ) -> InjectionResult:
-    """Execute one injection run; ``config=None`` is the no-LetGo baseline."""
-    process = app.load()
-    session = DebugSession(process)
+    """Execute one injection run; ``config=None`` is the no-LetGo baseline.
+
+    ``session`` optionally supplies a pre-positioned golden-path session
+    (e.g. restored from a snapshot-ladder rung at or before the plan's
+    injection point); by default a fresh process is loaded and the whole
+    prefix replayed.  Results are identical either way.
+    """
+    if session is None:
+        session = DebugSession(app.load())
+    process = session.process
     placed = _advance_and_flip(session, plan)
     if placed is None:
         return InjectionResult(

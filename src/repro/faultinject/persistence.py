@@ -109,29 +109,7 @@ def merge_campaigns(*campaigns: CampaignResult) -> CampaignResult:
     Useful for growing a campaign incrementally across sessions (run with
     different seeds, merge, report tighter error bars).
     """
-    if not campaigns:
-        raise ValueError("nothing to merge")
-    first = campaigns[0]
-    for other in campaigns[1:]:
-        if (other.app_name, other.config_name) != (first.app_name, first.config_name):
-            raise ValueError(
-                "cannot merge campaigns of different apps or configs"
-            )
-    counts: dict[Outcome, int] = {}
-    results = []
-    total = 0
-    for campaign in campaigns:
-        total += campaign.n
-        results.extend(campaign.results)
-        for outcome, count in campaign.counts.items():
-            counts[outcome] = counts.get(outcome, 0) + count
-    return CampaignResult(
-        app_name=first.app_name,
-        config_name=first.config_name,
-        n=total,
-        counts=counts,
-        results=results,
-    )
+    return CampaignResult.merge(campaigns)
 
 
 __all__ = [

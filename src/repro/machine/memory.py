@@ -143,9 +143,24 @@ class Memory:
         """Copy of all cells that have been explicitly written."""
         return dict(self._cells)
 
+    def load_cells(self, cells: dict[int, int]) -> None:
+        """Wholesale-replace contents with *cells* (bulk restore path).
+
+        Skips the per-cell segment/alignment checks of
+        :meth:`write_pattern`: callers pass cells captured from a process
+        with an identical segment map (see ``repro.checkpoint.snapshot``),
+        where every address was validated when originally written.
+        """
+        self._cells = dict(cells)
+
     def clear(self) -> None:
         """Drop contents but keep the segment map."""
         self._cells.clear()
+
+    @property
+    def n_written(self) -> int:
+        """Number of cells holding an explicitly written pattern."""
+        return len(self._cells)
 
 
 def float_to_pattern(value: float) -> int:

@@ -86,8 +86,15 @@ def test_run_campaign_reproducible(pennant_app):
 
 
 def test_run_campaign_keep_results(pennant_app):
-    result = run_campaign(pennant_app, 5, seed=4, config=None)
+    result = run_campaign(pennant_app, 5, seed=4, config=None, keep_results=True)
     assert len(result.results) == 5
+
+
+def test_run_campaign_drops_results_by_default(pennant_app):
+    """Memory-safe default: per-run records are not accumulated."""
+    result = run_campaign(pennant_app, 5, seed=4, config=None)
+    assert result.results == []
+    assert result.n == 5
 
 
 def test_plans_length_mismatch(pennant_app):

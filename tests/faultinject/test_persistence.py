@@ -17,7 +17,7 @@ from repro.faultinject.persistence import (
 
 @pytest.fixture(scope="module")
 def campaign(pennant_app):
-    return run_campaign(pennant_app, 20, seed=13, config=LETGO_E)
+    return run_campaign(pennant_app, 20, seed=13, config=LETGO_E, keep_results=True)
 
 
 def test_round_trip(campaign):
@@ -60,8 +60,8 @@ def test_bad_format_rejected():
 
 
 def test_merge(pennant_app):
-    a = run_campaign(pennant_app, 10, seed=1, config=LETGO_E)
-    b = run_campaign(pennant_app, 10, seed=2, config=LETGO_E)
+    a = run_campaign(pennant_app, 10, seed=1, config=LETGO_E, keep_results=True)
+    b = run_campaign(pennant_app, 10, seed=2, config=LETGO_E, keep_results=True)
     merged = merge_campaigns(a, b)
     assert merged.n == 20
     assert sum(merged.counts.values()) == 20

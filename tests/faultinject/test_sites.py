@@ -10,7 +10,7 @@ from repro.isa import Op
 
 @pytest.fixture(scope="module")
 def report(pennant_app):
-    campaign = run_campaign(pennant_app, 40, seed=9, config=LETGO_E)
+    campaign = run_campaign(pennant_app, 40, seed=9, config=LETGO_E, keep_results=True)
     return analyze_sites(pennant_app, campaign), campaign
 
 
@@ -77,7 +77,7 @@ def test_requires_kept_results(pennant_app):
 
 def test_high_bits_crash_more(pennant_app):
     """Exponent/sign-range flips crash more than low-mantissa flips."""
-    campaign = run_campaign(pennant_app, 120, seed=4, config=LETGO_E)
+    campaign = run_campaign(pennant_app, 120, seed=4, config=LETGO_E, keep_results=True)
     site_report = analyze_sites(pennant_app, campaign)
     low = site_report.by_bit_range.get("00-15 (low mantissa)")
     high = site_report.by_bit_range.get("48-63 (exponent/sign)")
