@@ -1,0 +1,346 @@
+"""Campaign engine: snapshot-ladder prefix reuse + multiprocess fan-out.
+
+The naive campaign loop replays the golden prefix from instruction 0 for
+every injection and runs the N independent injections strictly serially:
+O(N·L) interpreted instructions on one core.  Both costs are accidental --
+the paper's methodology is one profiling pass followed by N *independent*
+runs -- and this engine removes them with two composable optimizations:
+
+**Snapshot ladder.**  One extra golden run per app drops a
+:class:`~repro.checkpoint.snapshot.Snapshot` every K retired instructions
+(cached on the app next to its profile).  Each injection restores the
+nearest rung at or below its injection point and fast-forwards only the
+remainder, turning O(N·L) prefix replay into O(L + N·K).
+
+**Multiprocess fan-out.**  Plans are split into contiguous shards, each
+shard sorted by injection depth for ladder locality, and executed on a
+``ProcessPoolExecutor``.  Nothing un-picklable crosses the process
+boundary: workers re-derive the app (registry name or import path) and
+rebuild the ladder from (source, interval) -- on fork-based platforms the
+parent's caches are inherited, so this is free.  Shard results are merged
+in submission order via :meth:`CampaignResult.merge`, which makes the
+parallel output *identical* to the serial output for the same seed --
+counts, per-plan outcomes, and result ordering -- preserving the
+paired-campaign property every Figure-5/Table-3 comparison relies on.
+
+Throughput observability comes back in an :class:`EngineStats` record:
+injections/sec, ladder restore-distance, and per-worker utilization.
+"""
+
+from __future__ import annotations
+
+import importlib
+import os
+from collections import Counter
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from time import perf_counter
+
+import numpy as np
+
+from repro.apps.base import MiniApp
+from repro.checkpoint.snapshot import SnapshotLadder, restore
+from repro.core.config import LetGoConfig
+from repro.faultinject.campaign import CampaignResult
+from repro.faultinject.fault_model import InjectionPlan, plan_injections
+from repro.faultinject.injector import InjectionResult, run_injection
+from repro.faultinject.outcomes import Outcome
+from repro.machine.debugger import DebugSession
+
+#: ``ladder_interval`` value that disables the ladder entirely.
+NO_LADDER = 0
+
+
+@dataclass(frozen=True)
+class EngineStats:
+    """Throughput observability for one engine campaign."""
+
+    n: int
+    jobs: int                      # worker processes actually used (1 = in-process)
+    elapsed_seconds: float
+    ladder_interval: int           # 0 when the ladder was disabled
+    ladder_rungs: int
+    restored: int                  # injections launched from a ladder rung
+    cold_starts: int               # injections replayed from instruction 0
+    fast_forward_steps: int        # golden-prefix instructions actually replayed
+    per_worker_injections: tuple[int, ...]
+    per_worker_seconds: tuple[float, ...]
+
+    @property
+    def injections_per_sec(self) -> float:
+        """End-to-end campaign throughput."""
+        return self.n / self.elapsed_seconds if self.elapsed_seconds > 0 else 0.0
+
+    @property
+    def mean_fast_forward(self) -> float:
+        """Mean golden-prefix instructions replayed per injection."""
+        return self.fast_forward_steps / self.n if self.n else 0.0
+
+    @property
+    def utilization(self) -> float:
+        """Mean fraction of the wall-clock each worker spent injecting."""
+        if not self.per_worker_seconds or self.elapsed_seconds <= 0:
+            return 0.0
+        busy = sum(self.per_worker_seconds)
+        return busy / (len(self.per_worker_seconds) * self.elapsed_seconds)
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        ladder = (
+            f"ladder K={self.ladder_interval} ({self.ladder_rungs} rungs, "
+            f"mean ff {self.mean_fast_forward:,.0f})"
+            if self.ladder_interval
+            else "ladder off"
+        )
+        return (
+            f"{self.n} injections in {self.elapsed_seconds:.2f}s "
+            f"({self.injections_per_sec:.1f}/s) | jobs={self.jobs} "
+            f"util={self.utilization:.0%} | {ladder}"
+        )
+
+
+# -- golden-path session seeding -------------------------------------------
+
+
+def _seed_session(
+    app: MiniApp, plan: InjectionPlan, ladder: SnapshotLadder | None
+) -> tuple[DebugSession, bool, int]:
+    """A session positioned for *plan*: nearest rung, or a cold load.
+
+    Returns (session, restored_from_rung, golden_steps_still_to_replay).
+    """
+    target = plan.dyn_index - 1
+    snap = ladder.nearest(target) if ladder is not None else None
+    if snap is None:
+        return DebugSession(app.load()), False, target
+    return DebugSession(restore(app.program, snap)), True, target - snap.instret
+
+
+def _run_shard(
+    app: MiniApp,
+    ladder: SnapshotLadder | None,
+    config: LetGoConfig | None,
+    batch: list[tuple[int, InjectionPlan]],
+) -> tuple[list[tuple[int, InjectionResult]], tuple[int, int, int, float]]:
+    """Run one shard of (index, plan) pairs.
+
+    Plans execute in injection-depth order (ladder/cache locality) but the
+    returned pairs are in index order, so the caller's concatenation of
+    contiguous shards reproduces the serial result order exactly.
+    Shard stats: (restored, cold_starts, fast_forward_steps, seconds).
+    """
+    t0 = perf_counter()
+    restored = cold = fast_forward = 0
+    out: dict[int, InjectionResult] = {}
+    for idx, plan in sorted(batch, key=lambda pair: pair[1].dyn_index):
+        session, from_rung, remaining = _seed_session(app, plan, ladder)
+        out[idx] = run_injection(app, plan, config, session=session)
+        restored += from_rung
+        cold += not from_rung
+        fast_forward += remaining
+    pairs = [(idx, out[idx]) for idx in sorted(out)]
+    return pairs, (restored, cold, fast_forward, perf_counter() - t0)
+
+
+# -- worker protocol --------------------------------------------------------
+#
+# Workers receive only picklable primitives: an app *spec* (registry name
+# or module:qualname import path), the ladder interval, and the LetGo
+# config (a frozen dataclass).  App, program image and ladder are
+# re-derived worker-side through the same module caches the parent uses.
+
+_WORKER: dict = {}
+
+
+def _app_from_spec(spec: tuple) -> MiniApp:
+    """Rebuild an app from its worker spec."""
+    if spec[0] == "registry":
+        from repro.apps.registry import make_app
+
+        return make_app(spec[1])
+    _, module, qualname = spec
+    obj = importlib.import_module(module)
+    for part in qualname.split("."):
+        obj = getattr(obj, part)
+    return obj()
+
+
+def _app_spec(app: MiniApp) -> tuple | None:
+    """A picklable spec a worker can rebuild *app* from (None: not possible)."""
+    try:
+        from repro.apps.registry import make_app
+
+        if type(make_app(app.name)) is type(app):
+            return ("registry", app.name)
+    except KeyError:
+        pass
+    cls = type(app)
+    if "<locals>" in cls.__qualname__ or cls.__module__ == "__main__":
+        return None
+    spec = ("import", cls.__module__, cls.__qualname__)
+    try:
+        rebuilt = _app_from_spec(spec)
+    except Exception:
+        return None
+    if not isinstance(rebuilt, MiniApp) or rebuilt.source != app.source:
+        return None
+    return spec
+
+
+def _worker_init(
+    spec: tuple, interval: int | None, config: LetGoConfig | None
+) -> None:
+    app = _app_from_spec(spec)
+    _WORKER["app"] = app
+    _WORKER["ladder"] = app.ladder(interval) if interval != NO_LADDER else None
+    _WORKER["config"] = config
+
+
+def _worker_run(batch: list[tuple[int, InjectionPlan]]):
+    return _run_shard(_WORKER["app"], _WORKER["ladder"], _WORKER["config"], batch)
+
+
+def _split(items: list, k: int) -> list[list]:
+    """Split into *k* contiguous, nearly-even, non-empty chunks."""
+    k = max(1, min(k, len(items)))
+    base, extra = divmod(len(items), k)
+    chunks, lo = [], 0
+    for i in range(k):
+        hi = lo + base + (1 if i < extra else 0)
+        chunks.append(items[lo:hi])
+        lo = hi
+    return chunks
+
+
+# -- the engine -------------------------------------------------------------
+
+
+class CampaignEngine:
+    """Runs injection campaigns with prefix reuse and process fan-out.
+
+    ``jobs``: worker processes (1 = in-process; None = ``os.cpu_count()``).
+    ``ladder_interval``: rung spacing in retired instructions (None = the
+    app's :attr:`~repro.apps.base.MiniApp.default_ladder_interval`;
+    :data:`NO_LADDER` / 0 = replay every prefix from instruction 0).
+    ``keep_results``: keep per-run :class:`InjectionResult` records on the
+    campaign (memory-unsafe at large N, hence off by default).
+
+    For the same (app, n, seed, config, plans) every (jobs,
+    ladder_interval) combination produces an identical
+    :class:`CampaignResult`; the engine only changes how fast it arrives.
+    The last run's :class:`EngineStats` is kept on :attr:`stats`.
+    """
+
+    def __init__(
+        self,
+        jobs: int | None = 1,
+        ladder_interval: int | None = None,
+        keep_results: bool = False,
+    ):
+        self.jobs = (os.cpu_count() or 1) if jobs is None else max(1, jobs)
+        self.ladder_interval = ladder_interval
+        self.keep_results = keep_results
+        self.stats: EngineStats | None = None
+
+    def run(
+        self,
+        app: MiniApp,
+        n: int,
+        seed: int,
+        config: LetGoConfig | None = None,
+        plans: list[InjectionPlan] | None = None,
+    ) -> CampaignResult:
+        """Run *n* injections on *app* under *config* (None = baseline)."""
+        if plans is None:
+            rng = np.random.default_rng(seed)
+            plans = plan_injections(rng, app.golden.instret, n)
+        elif len(plans) != n:
+            raise ValueError("len(plans) must equal n")
+        t0 = perf_counter()
+
+        use_ladder = self.ladder_interval != NO_LADDER
+        # Building (or fetching) the ladder in the parent warms the
+        # per-source cache, which fork-based workers inherit for free.
+        ladder = app.ladder(self.ladder_interval) if use_ladder else None
+
+        jobs = min(self.jobs, n) if n else 1
+        spec = _app_spec(app) if jobs > 1 else None
+        if jobs > 1 and spec is None:
+            jobs = 1  # un-rederivable app (e.g. a local class): stay in-process
+
+        indexed = list(enumerate(plans))
+        if jobs == 1:
+            shard_outputs = [_run_shard(app, ladder, config, indexed)]
+        else:
+            chunks = _split(indexed, jobs)
+            jobs = len(chunks)
+            interval = ladder.interval if ladder is not None else NO_LADDER
+            with ProcessPoolExecutor(
+                max_workers=jobs,
+                initializer=_worker_init,
+                initargs=(spec, interval, config),
+            ) as pool:
+                futures = [pool.submit(_worker_run, chunk) for chunk in chunks]
+                shard_outputs = [f.result() for f in futures]
+
+        config_name = config.name if config is not None else "baseline"
+        shards = []
+        for pairs, _ in shard_outputs:
+            counts: Counter[Outcome] = Counter()
+            for _, result in pairs:
+                counts[result.outcome] += 1
+            shards.append(
+                CampaignResult(
+                    app_name=app.name,
+                    config_name=config_name,
+                    n=len(pairs),
+                    counts=dict(counts),
+                    results=(
+                        [result for _, result in pairs]
+                        if self.keep_results
+                        else []
+                    ),
+                )
+            )
+        merged = CampaignResult.merge(shards)
+
+        elapsed = perf_counter() - t0
+        self.stats = EngineStats(
+            n=n,
+            jobs=jobs,
+            elapsed_seconds=elapsed,
+            ladder_interval=ladder.interval if ladder is not None else NO_LADDER,
+            ladder_rungs=len(ladder) if ladder is not None else 0,
+            restored=sum(s[0] for _, s in shard_outputs),
+            cold_starts=sum(s[1] for _, s in shard_outputs),
+            fast_forward_steps=sum(s[2] for _, s in shard_outputs),
+            per_worker_injections=tuple(len(pairs) for pairs, _ in shard_outputs),
+            per_worker_seconds=tuple(s[3] for _, s in shard_outputs),
+        )
+        return merged
+
+
+def run_campaign_engine(
+    app: MiniApp,
+    n: int,
+    seed: int,
+    config: LetGoConfig | None = None,
+    *,
+    jobs: int | None = 1,
+    ladder_interval: int | None = None,
+    keep_results: bool = False,
+    plans: list[InjectionPlan] | None = None,
+) -> CampaignResult:
+    """One-shot convenience wrapper around :class:`CampaignEngine`."""
+    engine = CampaignEngine(
+        jobs=jobs, ladder_interval=ladder_interval, keep_results=keep_results
+    )
+    return engine.run(app, n, seed, config, plans=plans)
+
+
+__all__ = [
+    "CampaignEngine",
+    "EngineStats",
+    "run_campaign_engine",
+    "NO_LADDER",
+]
