@@ -105,20 +105,60 @@ def _cmd_inject(args: argparse.Namespace) -> int:
 
 
 def _cmd_campaign(args: argparse.Namespace) -> int:
+    from repro.errors import CampaignAbortedError, JournalError
     from repro.faultinject import CampaignEngine
 
     app = make_app(args.app)
     config = _variant(args.letgo)
     engine = CampaignEngine(
-        jobs=args.jobs, ladder_interval=args.ladder_interval, keep_results=False
+        jobs=args.jobs,
+        ladder_interval=args.ladder_interval,
+        keep_results=False,
+        max_retries=args.max_retries,
+        wall_clock_limit=args.wall_clock_limit,
+        shard_size=args.shard_size,
     )
-    campaign = engine.run(app, args.n, seed=args.seed, config=config)
+    journal_path = args.journal or args.resume
+    try:
+        campaign = engine.run(
+            app,
+            args.n,
+            seed=args.seed,
+            config=config,
+            journal=args.journal,
+            resume=args.resume,
+        )
+    except KeyboardInterrupt:
+        # Every completed shard was journaled durably before it counted,
+        # so there is nothing left to flush -- just say where to pick up.
+        if journal_path is not None:
+            print(
+                f"interrupted: journal flushed; resume with "
+                f"--resume {journal_path}",
+                file=sys.stderr,
+            )
+        else:
+            print(
+                "interrupted: no journal (use --journal PATH to make "
+                "campaigns resumable)",
+                file=sys.stderr,
+            )
+        return 130
+    except (CampaignAbortedError, JournalError) as exc:
+        print(f"campaign failed: {exc}", file=sys.stderr)
+        return 1
+    n_done = campaign.n or 1
     rows = [
-        [outcome.value, count, pct(count / args.n)]
+        [outcome.value, count, pct(count / n_done)]
         for outcome, count in sorted(campaign.counts.items(), key=lambda kv: -kv[1])
     ]
     title = f"{app.name} under {campaign.config_name} (n={args.n}, seed={args.seed})"
     print(ascii_table(["outcome", "runs", "fraction"], rows, title=title))
+    if engine.stats is not None and engine.stats.quarantined:
+        print(
+            f"quarantined poison plans (excluded from fractions): "
+            f"{list(engine.stats.quarantined)}"
+        )
     if config is not None:
         m = campaign.metrics()
         print(f"\ncontinuability    : {pct_ci(m.continuability.value, m.continuability.half_width)}")
@@ -262,6 +302,27 @@ def build_parser() -> argparse.ArgumentParser:
                    metavar="K",
                    help="snapshot-ladder rung spacing in retired "
                         "instructions (default: auto; 0 disables the ladder)")
+    durability = p.add_mutually_exclusive_group()
+    durability.add_argument("--journal", metavar="PATH", default=None,
+                            help="write-ahead journal: every completed shard "
+                                 "is recorded durably, so an interrupted "
+                                 "campaign can be resumed with --resume")
+    durability.add_argument("--resume", metavar="PATH", default=None,
+                            help="resume from an existing journal: skips "
+                                 "already-completed plans and appends new "
+                                 "shards; the merged result is identical to "
+                                 "an uninterrupted run")
+    p.add_argument("--max-retries", type=int, default=2, metavar="R",
+                   help="re-executions of a failing shard before it is "
+                        "bisected down to the poison plan (default: 2)")
+    p.add_argument("--wall-clock-limit", type=float, default=None,
+                   metavar="SECONDS",
+                   help="per-injection wall-clock watchdog: a run exceeding "
+                        "this real-time budget classifies as HANG "
+                        "(default: off)")
+    p.add_argument("--shard-size", type=int, default=None, metavar="P",
+                   help="plans per shard (default: one shard per worker, "
+                        "finer when journaling)")
 
     p = sub.add_parser("simulate", help="C/R efficiency with vs without LetGo")
     p.add_argument("--app", required=True, choices=list(PAPER_APP_PARAMS))

@@ -13,6 +13,7 @@ debug session, implementing the full Figure-3 interaction loop:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from time import perf_counter
 
 from repro.analysis.functions import FunctionTable
 from repro.core.config import LetGoConfig
@@ -25,7 +26,12 @@ from repro.machine.signals import Signal
 #: Final status values of a LetGo-supervised run.
 COMPLETED = "completed"      # program halted cleanly
 TERMINATED = "terminated"    # killed by a signal LetGo did not (re)handle
-HUNG = "hung"                # instruction budget exhausted
+HUNG = "hung"                # instruction budget (or wall-clock deadline) exhausted
+
+#: Instructions run between wall-clock deadline checks (~tens of ms of
+#: interpreted execution); only used when a deadline is supplied, so
+#: deadline-free runs stay bit-for-bit deterministic.
+WATCHDOG_SLICE = 1 << 18
 
 
 @dataclass
@@ -38,6 +44,7 @@ class LetGoRunReport:
     final_signal: Signal | None = None
     exit_code: int | None = None
     output: list[tuple[str, int | float]] = field(default_factory=list)
+    timed_out: bool = False      # HUNG because the wall-clock deadline passed
 
     @property
     def intervened(self) -> bool:
@@ -66,14 +73,43 @@ class LetGoSession:
         self.monitor = Monitor(config)
         self.modifier = Modifier(config, functions)
 
-    def run(self, process: Process, max_steps: int) -> LetGoRunReport:
-        """Run *process* under LetGo until exit, death, or budget."""
+    def run(
+        self,
+        process: Process,
+        max_steps: int,
+        *,
+        deadline: float | None = None,
+    ) -> LetGoRunReport:
+        """Run *process* under LetGo until exit, death, budget, or deadline.
+
+        ``deadline`` is an absolute :func:`~time.perf_counter` instant: a
+        wall-clock watchdog complementing the instruction budget, so a
+        pathological repaired run (e.g. a corrupted loop bound far beyond
+        the budget's intent) cannot stall its host forever.  When set, the
+        budget is consumed in :data:`WATCHDOG_SLICE` chunks and the clock
+        is checked between chunks; expiry reports ``HUNG`` with
+        ``timed_out=True``.  ``None`` (the default) keeps runs fully
+        deterministic.
+        """
         session = self.monitor.attach(process)
         interventions: list[InterventionRecord] = []
         remaining = max_steps
         total_steps = 0
         while True:
-            event = session.cont(remaining)
+            if deadline is not None and perf_counter() >= deadline:
+                return LetGoRunReport(
+                    status=HUNG,
+                    steps=total_steps,
+                    interventions=interventions,
+                    output=list(process.output),
+                    timed_out=True,
+                )
+            chunk = (
+                remaining
+                if deadline is None
+                else min(remaining, WATCHDOG_SLICE)
+            )
+            event = session.cont(chunk)
             total_steps += event.steps
             remaining -= event.steps
             if event.kind == STOP_EXITED:
@@ -85,6 +121,8 @@ class LetGoSession:
                     output=list(process.output),
                 )
             if event.kind == STOP_BUDGET:
+                if remaining > 0:
+                    continue  # artificial watchdog-slice boundary, not a hang
                 return LetGoRunReport(
                     status=HUNG,
                     steps=total_steps,
@@ -127,4 +165,5 @@ __all__ = [
     "COMPLETED",
     "TERMINATED",
     "HUNG",
+    "WATCHDOG_SLICE",
 ]

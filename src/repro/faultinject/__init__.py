@@ -23,6 +23,12 @@ from repro.faultinject.fault_model import (
     select_target,
 )
 from repro.faultinject.injector import InjectionResult, run_injection
+from repro.faultinject.journal import (
+    CampaignJournal,
+    JournalHeader,
+    QuarantineRecord,
+    plans_digest,
+)
 from repro.faultinject.metrics import (
     LetGoMetrics,
     Proportion,
@@ -38,6 +44,7 @@ from repro.faultinject.outcomes import (
     classify_finished,
 )
 from repro.faultinject.persistence import (
+    atomic_write_text,
     campaign_from_json,
     campaign_to_json,
     load_campaign,
@@ -84,4 +91,9 @@ __all__ = [
     "save_campaign",
     "load_campaign",
     "merge_campaigns",
+    "atomic_write_text",
+    "CampaignJournal",
+    "JournalHeader",
+    "QuarantineRecord",
+    "plans_digest",
 ]

@@ -47,9 +47,12 @@ class CampaignResult:
         """Pool shards of one (app, config) campaign into a single result.
 
         Sums ``counts`` and ``n`` and concatenates ``results`` in shard
-        order; the engine's parallel merge path relies on this being exact
-        concatenation so that contiguous shards reassemble the serial
-        campaign bit-for-bit.
+        order: merging contiguous shards in plan order reassembles the
+        serial campaign bit-for-bit.  Merging knows nothing about plan
+        identity, so it cannot detect a shard counted twice -- resume
+        deduplication is the journal's job
+        (:class:`~repro.faultinject.journal.CampaignJournal` refuses
+        duplicate plan indices).
         """
         if not shards:
             raise ValueError("nothing to merge")

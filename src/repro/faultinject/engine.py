@@ -1,4 +1,4 @@
-"""Campaign engine: snapshot-ladder prefix reuse + multiprocess fan-out.
+"""Campaign engine: prefix reuse, process fan-out, and failure survival.
 
 The naive campaign loop replays the golden prefix from instruction 0 for
 every injection and runs the N independent injections strictly serially:
@@ -18,33 +18,54 @@ shard sorted by injection depth for ladder locality, and executed on a
 boundary: workers re-derive the app (registry name or import path) and
 rebuild the ladder from (source, interval) -- on fork-based platforms the
 parent's caches are inherited, so this is free.  Shard results are merged
-in submission order via :meth:`CampaignResult.merge`, which makes the
-parallel output *identical* to the serial output for the same seed --
-counts, per-plan outcomes, and result ordering -- preserving the
-paired-campaign property every Figure-5/Table-3 comparison relies on.
+in plan order, which makes the parallel output *identical* to the serial
+output for the same seed -- counts, per-plan outcomes, and result
+ordering -- preserving the paired-campaign property every
+Figure-5/Table-3 comparison relies on.
 
-Throughput observability comes back in an :class:`EngineStats` record:
-injections/sec, ladder restore-distance, and per-worker utilization.
+On top of both sits the **resilience layer**, applying the paper's own
+checkpoint/restart discipline to the campaign runner itself:
+
+* a write-ahead **campaign journal**
+  (:class:`~repro.faultinject.journal.CampaignJournal`) durably records
+  each completed shard, and ``resume=`` skips journaled plans and merges
+  old + new shards into a result bit-identical to an uninterrupted run;
+* a **supervisor** retries failed shards with bounded exponential
+  backoff, rebuilds a broken process pool, bisects a persistently
+  failing shard down to the single **poison plan** and quarantines it
+  (recorded in :class:`EngineStats` and the journal, never silently
+  dropped), and degrades to in-process serial execution when
+  multiprocessing is unavailable or keeps breaking;
+* a per-run **wall-clock watchdog** (``wall_clock_limit``) complements
+  the instruction-budget ``HANG`` detection so a pathological repaired
+  run cannot stall a worker forever.
+
+Throughput and resilience observability come back in an
+:class:`EngineStats` record: injections/sec, ladder restore-distance,
+per-shard utilization, retries, pool rebuilds, and quarantined plans.
 """
 
 from __future__ import annotations
 
 import importlib
+import math
 import os
-from collections import Counter
-from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
-from time import perf_counter
+from collections import Counter, deque
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor, as_completed
+from dataclasses import dataclass, field
+from pathlib import Path
+from time import perf_counter, sleep
 
 import numpy as np
 
 from repro.apps.base import MiniApp
 from repro.checkpoint.snapshot import SnapshotLadder, restore
 from repro.core.config import LetGoConfig
+from repro.errors import CampaignAbortedError
 from repro.faultinject.campaign import CampaignResult
 from repro.faultinject.fault_model import InjectionPlan, plan_injections
 from repro.faultinject.injector import InjectionResult, run_injection
-from repro.faultinject.outcomes import Outcome
+from repro.faultinject.journal import CampaignJournal, JournalHeader
 from repro.machine.debugger import DebugSession
 
 #: ``ladder_interval`` value that disables the ladder entirely.
@@ -53,7 +74,7 @@ NO_LADDER = 0
 
 @dataclass(frozen=True)
 class EngineStats:
-    """Throughput observability for one engine campaign."""
+    """Throughput + resilience observability for one engine campaign."""
 
     n: int
     jobs: int                      # worker processes actually used (1 = in-process)
@@ -63,8 +84,19 @@ class EngineStats:
     restored: int                  # injections launched from a ladder rung
     cold_starts: int               # injections replayed from instruction 0
     fast_forward_steps: int        # golden-prefix instructions actually replayed
-    per_worker_injections: tuple[int, ...]
-    per_worker_seconds: tuple[float, ...]
+    per_worker_injections: tuple[int, ...]   # per committed shard
+    per_worker_seconds: tuple[float, ...]    # per committed shard
+    retries: int = 0               # shard re-executions after failures
+    pool_rebuilds: int = 0         # broken process pools replaced
+    degraded_serial: bool = False  # fell back to in-process execution
+    resumed: int = 0               # plans skipped: already journaled
+    timeouts: int = 0              # runs stopped by the wall-clock watchdog
+    quarantined: tuple[int, ...] = ()  # poison-plan indices, never re-run
+
+    @property
+    def executed(self) -> int:
+        """Injections actually run this invocation."""
+        return self.restored + self.cold_starts
 
     @property
     def injections_per_sec(self) -> float:
@@ -73,8 +105,8 @@ class EngineStats:
 
     @property
     def mean_fast_forward(self) -> float:
-        """Mean golden-prefix instructions replayed per injection."""
-        return self.fast_forward_steps / self.n if self.n else 0.0
+        """Mean golden-prefix instructions replayed per executed injection."""
+        return self.fast_forward_steps / self.executed if self.executed else 0.0
 
     @property
     def utilization(self) -> float:
@@ -92,11 +124,27 @@ class EngineStats:
             if self.ladder_interval
             else "ladder off"
         )
-        return (
+        line = (
             f"{self.n} injections in {self.elapsed_seconds:.2f}s "
             f"({self.injections_per_sec:.1f}/s) | jobs={self.jobs} "
             f"util={self.utilization:.0%} | {ladder}"
         )
+        extras = []
+        if self.resumed:
+            extras.append(f"resumed={self.resumed}")
+        if self.retries:
+            extras.append(f"retries={self.retries}")
+        if self.pool_rebuilds:
+            extras.append(f"pool rebuilds={self.pool_rebuilds}")
+        if self.degraded_serial:
+            extras.append("serial fallback")
+        if self.timeouts:
+            extras.append(f"timeouts={self.timeouts}")
+        if self.quarantined:
+            extras.append(f"quarantined={list(self.quarantined)}")
+        if extras:
+            line += " | " + " ".join(extras)
+        return line
 
 
 # -- golden-path session seeding -------------------------------------------
@@ -121,12 +169,13 @@ def _run_shard(
     ladder: SnapshotLadder | None,
     config: LetGoConfig | None,
     batch: list[tuple[int, InjectionPlan]],
+    wall_clock_limit: float | None = None,
 ) -> tuple[list[tuple[int, InjectionResult]], tuple[int, int, int, float]]:
     """Run one shard of (index, plan) pairs.
 
     Plans execute in injection-depth order (ladder/cache locality) but the
-    returned pairs are in index order, so the caller's concatenation of
-    contiguous shards reproduces the serial result order exactly.
+    returned pairs are in index order, so reassembling shards by plan
+    index reproduces the serial result order exactly.
     Shard stats: (restored, cold_starts, fast_forward_steps, seconds).
     """
     t0 = perf_counter()
@@ -134,7 +183,9 @@ def _run_shard(
     out: dict[int, InjectionResult] = {}
     for idx, plan in sorted(batch, key=lambda pair: pair[1].dyn_index):
         session, from_rung, remaining = _seed_session(app, plan, ladder)
-        out[idx] = run_injection(app, plan, config, session=session)
+        out[idx] = run_injection(
+            app, plan, config, session=session, wall_clock_limit=wall_clock_limit
+        )
         restored += from_rung
         cold += not from_rung
         fast_forward += remaining
@@ -145,9 +196,10 @@ def _run_shard(
 # -- worker protocol --------------------------------------------------------
 #
 # Workers receive only picklable primitives: an app *spec* (registry name
-# or module:qualname import path), the ladder interval, and the LetGo
-# config (a frozen dataclass).  App, program image and ladder are
-# re-derived worker-side through the same module caches the parent uses.
+# or module:qualname import path), the ladder interval, the LetGo config
+# (a frozen dataclass), and the wall-clock limit.  App, program image and
+# ladder are re-derived worker-side through the same module caches the
+# parent uses.
 
 _WORKER: dict = {}
 
@@ -188,16 +240,26 @@ def _app_spec(app: MiniApp) -> tuple | None:
 
 
 def _worker_init(
-    spec: tuple, interval: int | None, config: LetGoConfig | None
+    spec: tuple,
+    interval: int | None,
+    config: LetGoConfig | None,
+    wall_clock_limit: float | None = None,
 ) -> None:
     app = _app_from_spec(spec)
     _WORKER["app"] = app
     _WORKER["ladder"] = app.ladder(interval) if interval != NO_LADDER else None
     _WORKER["config"] = config
+    _WORKER["wall_clock_limit"] = wall_clock_limit
 
 
 def _worker_run(batch: list[tuple[int, InjectionPlan]]):
-    return _run_shard(_WORKER["app"], _WORKER["ladder"], _WORKER["config"], batch)
+    return _run_shard(
+        _WORKER["app"],
+        _WORKER["ladder"],
+        _WORKER["config"],
+        batch,
+        _WORKER.get("wall_clock_limit"),
+    )
 
 
 def _split(items: list, k: int) -> list[list]:
@@ -212,23 +274,224 @@ def _split(items: list, k: int) -> list[list]:
     return chunks
 
 
+# -- the supervisor ---------------------------------------------------------
+
+
+@dataclass
+class _Supervisor:
+    """Drives shards to completion through failures.
+
+    Policy ladder, applied per shard: retry with bounded exponential
+    backoff -> bisect a still-failing shard to isolate the poison plan ->
+    quarantine the single plan that keeps failing.  Pool breakage
+    (SIGKILLed/OOM-killed workers) rebuilds the executor up to
+    ``max_pool_rebuilds`` times, then either degrades to in-process serial
+    execution or -- with ``serial_fallback`` off -- aborts with
+    :class:`~repro.errors.CampaignAbortedError` naming the journal.
+    Every completed shard is journaled *before* its results are merged.
+    """
+
+    engine: "CampaignEngine"
+    app: MiniApp
+    ladder: SnapshotLadder | None
+    config: LetGoConfig | None
+    spec: tuple | None
+    jobs: int
+    journal: CampaignJournal | None
+
+    pairs: dict[int, InjectionResult] = field(default_factory=dict)
+    shard_sizes: list[int] = field(default_factory=list)
+    shard_stats: list[tuple[int, int, int, float]] = field(default_factory=list)
+    attempts: dict[tuple[int, ...], int] = field(default_factory=dict)
+    quarantined: list[int] = field(default_factory=list)
+    retries: int = 0
+    pool_rebuilds: int = 0
+    degraded: bool = False
+    timeouts: int = 0
+
+    def run(self, shards: list[list[tuple[int, InjectionPlan]]]) -> None:
+        self.queue: deque = deque(shard for shard in shards if shard)
+        if self.jobs > 1:
+            self._run_pool()
+        else:
+            self._run_serial()
+
+    # -- serial ------------------------------------------------------------
+
+    def _run_serial(self) -> None:
+        while self.queue:
+            shard = self.queue.popleft()
+            try:
+                pairs, stat = _run_shard(
+                    self.app,
+                    self.ladder,
+                    self.config,
+                    shard,
+                    self.engine.wall_clock_limit,
+                )
+            except Exception as exc:
+                self._failure(shard, exc)
+            else:
+                self._commit(pairs, stat)
+
+    # -- pool --------------------------------------------------------------
+
+    def _make_pool(self) -> ProcessPoolExecutor | None:
+        interval = (
+            self.ladder.interval if self.ladder is not None else NO_LADDER
+        )
+        try:
+            return ProcessPoolExecutor(
+                max_workers=self.jobs,
+                initializer=_worker_init,
+                initargs=(
+                    self.spec,
+                    interval,
+                    self.config,
+                    self.engine.wall_clock_limit,
+                ),
+            )
+        except Exception:
+            return None
+
+    def _run_pool(self) -> None:
+        pool = self._make_pool()
+        if pool is None:
+            self._degrade()
+            return
+        try:
+            while self.queue:
+                batch = list(self.queue)
+                self.queue.clear()
+                futures = {}
+                broken = False
+                for shard in batch:
+                    if broken:
+                        self.queue.append(shard)
+                        continue
+                    try:
+                        futures[pool.submit(_worker_run, shard)] = shard
+                    except BrokenExecutor:
+                        broken = True
+                        self.queue.append(shard)
+                for future in as_completed(futures):
+                    shard = futures[future]
+                    try:
+                        pairs, stat = future.result()
+                    except BrokenExecutor:
+                        broken = True
+                        self.queue.append(shard)
+                    except Exception as exc:
+                        self._failure(shard, exc)
+                    else:
+                        self._commit(pairs, stat)
+                if broken:
+                    pool.shutdown(wait=False, cancel_futures=True)
+                    self.pool_rebuilds += 1
+                    if self.pool_rebuilds > self.engine.max_pool_rebuilds:
+                        if not self.engine.serial_fallback:
+                            raise CampaignAbortedError(
+                                f"worker pool broke "
+                                f"{self.pool_rebuilds} times; giving up",
+                                journal=(
+                                    self.journal.path if self.journal else None
+                                ),
+                            )
+                        pool = None
+                        self._degrade()
+                        return
+                    pool = self._make_pool()
+                    if pool is None:
+                        self._degrade()
+                        return
+        finally:
+            if pool is not None:
+                pool.shutdown(wait=False, cancel_futures=True)
+
+    def _degrade(self) -> None:
+        """Multiprocessing unavailable or unreliable: finish in-process."""
+        self.degraded = True
+        self._run_serial()
+
+    # -- shared bookkeeping ------------------------------------------------
+
+    def _commit(
+        self,
+        pairs: list[tuple[int, InjectionResult]],
+        stat: tuple[int, int, int, float],
+    ) -> None:
+        # Journal first: the shard is durable before its results count.
+        if self.journal is not None:
+            self.journal.record_shard(
+                [idx for idx, _ in pairs], [result for _, result in pairs]
+            )
+        self.pairs.update(pairs)
+        self.shard_sizes.append(len(pairs))
+        self.shard_stats.append(stat)
+        self.timeouts += sum(1 for _, result in pairs if result.timed_out)
+
+    def _failure(self, shard: list[tuple[int, InjectionPlan]], exc: Exception) -> None:
+        key = tuple(idx for idx, _ in shard)
+        count = self.attempts.get(key, 0) + 1
+        self.attempts[key] = count
+        if count <= self.engine.max_retries:
+            self.retries += 1
+            backoff = self.engine.retry_backoff
+            if backoff > 0:
+                sleep(
+                    min(
+                        self.engine.retry_backoff_cap,
+                        backoff * 2 ** (count - 1),
+                    )
+                )
+            self.queue.append(shard)
+        elif len(shard) > 1:
+            # Bisect: isolate the poison plan instead of discarding the
+            # healthy majority of the shard alongside it.
+            mid = len(shard) // 2
+            self.queue.append(shard[:mid])
+            self.queue.append(shard[mid:])
+        else:
+            ((index, plan),) = shard
+            self.quarantined.append(index)
+            if self.journal is not None:
+                self.journal.record_quarantine(index, plan, repr(exc), count)
+
+
 # -- the engine -------------------------------------------------------------
 
 
 class CampaignEngine:
-    """Runs injection campaigns with prefix reuse and process fan-out.
+    """Runs injection campaigns with prefix reuse, fan-out, and supervision.
 
-    ``jobs``: worker processes (1 = in-process; None = ``os.cpu_count()``).
-    ``ladder_interval``: rung spacing in retired instructions (None = the
-    app's :attr:`~repro.apps.base.MiniApp.default_ladder_interval`;
-    :data:`NO_LADDER` / 0 = replay every prefix from instruction 0).
-    ``keep_results``: keep per-run :class:`InjectionResult` records on the
-    campaign (memory-unsafe at large N, hence off by default).
+    Execution knobs:
+
+    * ``jobs``: worker processes (1 = in-process; None = ``os.cpu_count()``).
+    * ``ladder_interval``: rung spacing in retired instructions (None = the
+      app's :attr:`~repro.apps.base.MiniApp.default_ladder_interval`;
+      :data:`NO_LADDER` / 0 = replay every prefix from instruction 0).
+    * ``keep_results``: keep per-run :class:`InjectionResult` records on the
+      campaign (memory-unsafe at large N, hence off by default).
+    * ``shard_size``: plans per shard (None = one shard per worker, or a
+      finer default grain when journaling so resume loses little work).
+
+    Resilience knobs:
+
+    * ``max_retries``: re-executions of a failing shard before bisection.
+    * ``retry_backoff`` / ``retry_backoff_cap``: exponential backoff seconds
+      between retries (0 disables sleeping).
+    * ``max_pool_rebuilds``: broken process pools replaced before degrading.
+    * ``serial_fallback``: finish in-process when the pool keeps breaking
+      (False: raise :class:`~repro.errors.CampaignAbortedError` instead).
+    * ``wall_clock_limit``: per-injection watchdog seconds (None = off;
+      expired runs classify as ``HANG`` -- a non-deterministic safety
+      valve, so leave it off when bit-identical reruns matter).
 
     For the same (app, n, seed, config, plans) every (jobs,
-    ladder_interval) combination produces an identical
-    :class:`CampaignResult`; the engine only changes how fast it arrives.
-    The last run's :class:`EngineStats` is kept on :attr:`stats`.
+    ladder_interval, shard_size) combination produces an identical
+    :class:`CampaignResult`; the engine only changes how fast it arrives
+    and what it survives.  The last run's :class:`EngineStats` is kept on
+    :attr:`stats`.
     """
 
     def __init__(
@@ -236,11 +499,37 @@ class CampaignEngine:
         jobs: int | None = 1,
         ladder_interval: int | None = None,
         keep_results: bool = False,
+        *,
+        shard_size: int | None = None,
+        max_retries: int = 2,
+        retry_backoff: float = 0.1,
+        retry_backoff_cap: float = 2.0,
+        max_pool_rebuilds: int = 2,
+        serial_fallback: bool = True,
+        wall_clock_limit: float | None = None,
     ):
         self.jobs = (os.cpu_count() or 1) if jobs is None else max(1, jobs)
         self.ladder_interval = ladder_interval
         self.keep_results = keep_results
+        if shard_size is not None and shard_size < 1:
+            raise ValueError("shard_size must be >= 1")
+        self.shard_size = shard_size
+        self.max_retries = max(0, max_retries)
+        self.retry_backoff = max(0.0, retry_backoff)
+        self.retry_backoff_cap = max(0.0, retry_backoff_cap)
+        self.max_pool_rebuilds = max(0, max_pool_rebuilds)
+        self.serial_fallback = serial_fallback
+        self.wall_clock_limit = wall_clock_limit
         self.stats: EngineStats | None = None
+
+    def _shard_count(self, pending: int, jobs: int, journaling: bool) -> int:
+        if self.shard_size is not None:
+            return max(1, math.ceil(pending / self.shard_size))
+        if journaling:
+            # Finer grain: each journaled shard is resume credit, and
+            # bisection isolates poison plans in fewer halvings.
+            return min(pending, 8 * jobs)
+        return jobs
 
     def run(
         self,
@@ -249,60 +538,94 @@ class CampaignEngine:
         seed: int,
         config: LetGoConfig | None = None,
         plans: list[InjectionPlan] | None = None,
+        *,
+        journal: str | Path | None = None,
+        resume: str | Path | None = None,
     ) -> CampaignResult:
-        """Run *n* injections on *app* under *config* (None = baseline)."""
+        """Run *n* injections on *app* under *config* (None = baseline).
+
+        ``journal`` starts a fresh write-ahead journal at that path;
+        ``resume`` loads an existing one, verifies it belongs to this
+        exact campaign, skips already-journaled plans, and appends new
+        shards to the same file.  Either way the returned result is
+        bit-identical to an uninterrupted run with the same seed.
+        """
         if plans is None:
             rng = np.random.default_rng(seed)
             plans = plan_injections(rng, app.golden.instret, n)
         elif len(plans) != n:
             raise ValueError("len(plans) must equal n")
+        if journal is not None and resume is not None:
+            raise ValueError(
+                "pass either journal= (fresh) or resume= (existing), not both"
+            )
         t0 = perf_counter()
+
+        config_name = config.name if config is not None else "baseline"
+        journal_obj: CampaignJournal | None = None
+        if resume is not None:
+            journal_obj = CampaignJournal.load(resume)
+            journal_obj.verify(
+                JournalHeader.for_campaign(app.name, config_name, n, seed, plans)
+            )
+        elif journal is not None:
+            journal_obj = CampaignJournal.create(
+                journal,
+                JournalHeader.for_campaign(app.name, config_name, n, seed, plans),
+            )
+
+        settled = (
+            journal_obj.settled_indices if journal_obj is not None else frozenset()
+        )
+        indexed = [
+            (idx, plan) for idx, plan in enumerate(plans) if idx not in settled
+        ]
+        resumed_pairs = journal_obj.pairs() if journal_obj is not None else []
+        prior_quarantine = (
+            [record.index for record in journal_obj.quarantined]
+            if journal_obj is not None
+            else []
+        )
 
         use_ladder = self.ladder_interval != NO_LADDER
         # Building (or fetching) the ladder in the parent warms the
         # per-source cache, which fork-based workers inherit for free.
         ladder = app.ladder(self.ladder_interval) if use_ladder else None
 
-        jobs = min(self.jobs, n) if n else 1
+        jobs = max(1, min(self.jobs, len(indexed))) if indexed else 1
         spec = _app_spec(app) if jobs > 1 else None
         if jobs > 1 and spec is None:
             jobs = 1  # un-rederivable app (e.g. a local class): stay in-process
 
-        indexed = list(enumerate(plans))
-        if jobs == 1:
-            shard_outputs = [_run_shard(app, ladder, config, indexed)]
-        else:
-            chunks = _split(indexed, jobs)
-            jobs = len(chunks)
-            interval = ladder.interval if ladder is not None else NO_LADDER
-            with ProcessPoolExecutor(
-                max_workers=jobs,
-                initializer=_worker_init,
-                initargs=(spec, interval, config),
-            ) as pool:
-                futures = [pool.submit(_worker_run, chunk) for chunk in chunks]
-                shard_outputs = [f.result() for f in futures]
-
-        config_name = config.name if config is not None else "baseline"
-        shards = []
-        for pairs, _ in shard_outputs:
-            counts: Counter[Outcome] = Counter()
-            for _, result in pairs:
-                counts[result.outcome] += 1
-            shards.append(
-                CampaignResult(
-                    app_name=app.name,
-                    config_name=config_name,
-                    n=len(pairs),
-                    counts=dict(counts),
-                    results=(
-                        [result for _, result in pairs]
-                        if self.keep_results
-                        else []
-                    ),
-                )
+        supervisor = _Supervisor(
+            engine=self,
+            app=app,
+            ladder=ladder,
+            config=config,
+            spec=spec,
+            jobs=jobs,
+            journal=journal_obj,
+        )
+        if indexed:
+            shards = _split(
+                indexed,
+                self._shard_count(len(indexed), jobs, journal_obj is not None),
             )
-        merged = CampaignResult.merge(shards)
+            supervisor.run(shards)
+
+        all_pairs = dict(resumed_pairs)
+        all_pairs.update(supervisor.pairs)
+        ordered = [all_pairs[idx] for idx in sorted(all_pairs)]
+        counts: Counter = Counter()
+        for result in ordered:
+            counts[result.outcome] += 1
+        merged = CampaignResult(
+            app_name=app.name,
+            config_name=config_name,
+            n=len(ordered),
+            counts=dict(counts),
+            results=list(ordered) if self.keep_results else [],
+        )
 
         elapsed = perf_counter() - t0
         self.stats = EngineStats(
@@ -311,11 +634,17 @@ class CampaignEngine:
             elapsed_seconds=elapsed,
             ladder_interval=ladder.interval if ladder is not None else NO_LADDER,
             ladder_rungs=len(ladder) if ladder is not None else 0,
-            restored=sum(s[0] for _, s in shard_outputs),
-            cold_starts=sum(s[1] for _, s in shard_outputs),
-            fast_forward_steps=sum(s[2] for _, s in shard_outputs),
-            per_worker_injections=tuple(len(pairs) for pairs, _ in shard_outputs),
-            per_worker_seconds=tuple(s[3] for _, s in shard_outputs),
+            restored=sum(s[0] for s in supervisor.shard_stats),
+            cold_starts=sum(s[1] for s in supervisor.shard_stats),
+            fast_forward_steps=sum(s[2] for s in supervisor.shard_stats),
+            per_worker_injections=tuple(supervisor.shard_sizes),
+            per_worker_seconds=tuple(s[3] for s in supervisor.shard_stats),
+            retries=supervisor.retries,
+            pool_rebuilds=supervisor.pool_rebuilds,
+            degraded_serial=supervisor.degraded,
+            resumed=len(resumed_pairs),
+            timeouts=supervisor.timeouts,
+            quarantined=tuple(sorted(prior_quarantine + supervisor.quarantined)),
         )
         return merged
 

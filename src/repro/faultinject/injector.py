@@ -5,23 +5,35 @@ the planned bit in the register that instruction produced, and then either
 lets the default OS behaviour apply (baseline: any trap kills the process)
 or hands supervision to LetGo.  The resulting :class:`InjectionResult`
 carries the Figure-4 leaf plus enough detail for per-site analysis.
+
+Runs accept an optional **wall-clock watchdog** (``wall_clock_limit``
+seconds): the instruction budget already converts infinite loops into
+``HANG``, but a pathological repaired run can be *slow* rather than
+unbounded -- e.g. a corrupted trip count that still fits the budget yet
+takes minutes of interpreter time.  The watchdog caps real time per run so
+one bad injection cannot stall a campaign worker forever.  Expired runs
+classify as ``HANG`` (with ``timed_out=True`` for observability); the
+default of ``None`` keeps runs bit-for-bit deterministic.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from time import perf_counter
 
 from repro.apps.base import MiniApp
 from repro.core.config import LetGoConfig
-from repro.core.session import COMPLETED, HUNG, LetGoSession
+from repro.core.session import COMPLETED, HUNG, WATCHDOG_SLICE, LetGoSession
 from repro.errors import InjectionError
 from repro.faultinject.fault_model import InjectionPlan, flip_bit, select_target
 from repro.faultinject.outcomes import Outcome, classify_finished
 from repro.machine.debugger import (
+    STOP_BUDGET,
     STOP_EXITED,
     STOP_STEPS_DONE,
     STOP_TRAP,
     DebugSession,
+    StopEvent,
 )
 from repro.machine.signals import Signal
 
@@ -37,6 +49,7 @@ class InjectionResult:
     first_signal: Signal | None = None  # first crash signal, if any
     interventions: int = 0              # LetGo repairs performed
     steps: int = 0                      # total retired instructions
+    timed_out: bool = False             # wall-clock watchdog expired
 
 
 def _advance_and_flip(
@@ -90,12 +103,38 @@ def _advance_and_flip(
             return None
 
 
+def _cont_watchdog(
+    session: DebugSession, budget: int, deadline: float | None
+) -> tuple[StopEvent, bool]:
+    """``session.cont(budget)`` with an optional wall-clock deadline.
+
+    Returns (event, timed_out).  With no deadline this is exactly one
+    ``cont`` call; with one, the budget is consumed in watchdog slices and
+    the clock checked between them, so an expired run surfaces as a
+    budget-style stop at the next slice boundary.
+    """
+    if deadline is None:
+        return session.cont(budget), False
+    remaining = budget
+    while True:
+        if perf_counter() >= deadline:
+            return (
+                StopEvent(STOP_BUDGET, 0, pc=session.process.cpu.pc),
+                True,
+            )
+        event = session.cont(min(remaining, WATCHDOG_SLICE))
+        remaining -= event.steps
+        if event.kind != STOP_BUDGET or remaining <= 0:
+            return event, False
+
+
 def run_injection(
     app: MiniApp,
     plan: InjectionPlan,
     config: LetGoConfig | None = None,
     *,
     session: DebugSession | None = None,
+    wall_clock_limit: float | None = None,
 ) -> InjectionResult:
     """Execute one injection run; ``config=None`` is the no-LetGo baseline.
 
@@ -103,7 +142,16 @@ def run_injection(
     (e.g. restored from a snapshot-ladder rung at or before the plan's
     injection point); by default a fresh process is loaded and the whole
     prefix replayed.  Results are identical either way.
+
+    ``wall_clock_limit`` caps the post-injection continuation in real
+    seconds (the golden prefix is bounded by construction); expiry
+    classifies as ``HANG`` with ``timed_out=True``.
     """
+    deadline = (
+        perf_counter() + wall_clock_limit
+        if wall_clock_limit is not None
+        else None
+    )
     if session is None:
         session = DebugSession(app.load())
     process = session.process
@@ -118,8 +166,12 @@ def run_injection(
     budget = max(app.max_steps - process.cpu.instret, 1)
 
     if config is None:
-        return _finish_baseline(app, session, plan, target_pc, target_reg, budget)
-    return _finish_letgo(app, session, plan, target_pc, target_reg, budget, config)
+        return _finish_baseline(
+            app, session, plan, target_pc, target_reg, budget, deadline
+        )
+    return _finish_letgo(
+        app, session, plan, target_pc, target_reg, budget, config, deadline
+    )
 
 
 def _finish_baseline(
@@ -129,9 +181,10 @@ def _finish_baseline(
     target_pc: int,
     target_reg: tuple[str, int],
     budget: int,
+    deadline: float | None = None,
 ) -> InjectionResult:
     process = session.process
-    event = session.cont(budget)
+    event, timed_out = _cont_watchdog(session, budget, deadline)
     if event.kind == STOP_TRAP:
         assert event.trap is not None
         session.deliver_default(event.trap)
@@ -155,6 +208,7 @@ def _finish_baseline(
         target_reg=target_reg,
         first_signal=signal,
         steps=process.cpu.instret,
+        timed_out=timed_out,
     )
 
 
@@ -166,9 +220,12 @@ def _finish_letgo(
     target_reg: tuple[str, int],
     budget: int,
     config: LetGoConfig,
+    deadline: float | None = None,
 ) -> InjectionResult:
     process = session.process
-    report = LetGoSession(config, app.functions).run(process, budget)
+    report = LetGoSession(config, app.functions).run(
+        process, budget, deadline=deadline
+    )
     if report.status == COMPLETED:
         output = list(process.output)
         outcome = classify_finished(
@@ -196,6 +253,7 @@ def _finish_letgo(
         first_signal=first_signal,
         interventions=len(report.interventions),
         steps=process.cpu.instret,
+        timed_out=report.timed_out,
     )
 
 

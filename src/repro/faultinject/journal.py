@@ -1,0 +1,309 @@
+"""Write-ahead campaign journal: durable, resumable injection campaigns.
+
+The paper's thesis -- long-running work should survive failures instead of
+restarting from zero -- applies to the campaign runner itself.  A
+:class:`CampaignJournal` applies the checkpoint/restart discipline to the
+engine: every completed shard is recorded durably *before* its results are
+merged, so a campaign killed at 90% (worker OOM, wall-clock, Ctrl-C)
+resumes from its journal and re-runs only the missing 10%.
+
+Durability contract
+-------------------
+The journal is a single JSON document rewritten atomically on every
+appended record (temp file in the same directory + fsync + ``os.replace``,
+via :func:`~repro.faultinject.persistence.atomic_write_text`).  A reader
+therefore always sees a complete, parseable journal: either the state
+before the append or the state after, never a torn write.  Rewriting the
+whole document keeps the format trivially recoverable; at campaign scale
+the journal is small relative to the injection work it checkpoints.
+
+Identity contract
+-----------------
+The header pins (app, config, n, seed) plus a SHA-256 digest of the full
+plan list.  :meth:`CampaignJournal.verify` refuses to resume a campaign
+whose parameters differ in any way, which is what makes a resumed result
+bit-identical to an uninterrupted run: the plan population is provably the
+same, and completed plans are never re-executed.
+
+Every plan index may appear in the journal at most once, across completed
+shards and quarantine records alike -- a duplicate (e.g. a journal edited
+by hand, or two engines appending to one file) raises
+:class:`~repro.errors.JournalError` instead of silently double-counting.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.errors import JournalError
+from repro.faultinject.fault_model import InjectionPlan
+from repro.faultinject.injector import InjectionResult
+from repro.faultinject.persistence import (
+    atomic_write_text,
+    plan_from_dict,
+    plan_to_dict,
+    result_from_dict,
+    result_to_dict,
+)
+
+#: Format version written into every journal.
+JOURNAL_FORMAT = 1
+
+
+def plans_digest(plans: Sequence[InjectionPlan]) -> str:
+    """SHA-256 over the canonical JSON encoding of *plans*.
+
+    Pins the exact fault population a journal belongs to; (n, seed) alone
+    would miss externally supplied plan lists.
+    """
+    payload = json.dumps(
+        [plan_to_dict(p) for p in plans], sort_keys=True, separators=(",", ":")
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+@dataclass(frozen=True)
+class JournalHeader:
+    """Identity of the campaign a journal checkpoints."""
+
+    app_name: str
+    config_name: str
+    n: int
+    seed: int
+    plans_sha256: str
+
+    @classmethod
+    def for_campaign(
+        cls,
+        app_name: str,
+        config_name: str,
+        n: int,
+        seed: int,
+        plans: Sequence[InjectionPlan],
+    ) -> "JournalHeader":
+        return cls(
+            app_name=app_name,
+            config_name=config_name,
+            n=n,
+            seed=seed,
+            plans_sha256=plans_digest(plans),
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "app_name": self.app_name,
+            "config_name": self.config_name,
+            "n": self.n,
+            "seed": self.seed,
+            "plans_sha256": self.plans_sha256,
+        }
+
+
+@dataclass(frozen=True)
+class QuarantineRecord:
+    """One poison plan: persistently failing, excluded but never dropped."""
+
+    index: int                  # position in the campaign's plan list
+    plan: InjectionPlan
+    error: str                  # repr of the final exception
+    attempts: int               # executions before the engine gave up
+
+
+class CampaignJournal:
+    """Append-only record of completed shards and quarantined plans.
+
+    Use :meth:`create` for a fresh campaign and :meth:`load` +
+    :meth:`verify` to resume one; :meth:`record_shard` /
+    :meth:`record_quarantine` persist durably before returning.
+    """
+
+    def __init__(self, path: str | Path, header: JournalHeader):
+        self.path = Path(path)
+        self.header = header
+        self._shards: list[tuple[tuple[int, ...], list[InjectionResult]]] = []
+        self._quarantined: list[QuarantineRecord] = []
+        self._seen: set[int] = set()
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def create(
+        cls, path: str | Path, header: JournalHeader, overwrite: bool = False
+    ) -> "CampaignJournal":
+        """Start a fresh journal at *path* (written immediately)."""
+        path = Path(path)
+        if path.exists() and not overwrite:
+            raise JournalError(
+                f"journal {path} already exists; resume from it or remove it"
+            )
+        journal = cls(path, header)
+        journal._flush()
+        return journal
+
+    @classmethod
+    def load(cls, path: str | Path) -> "CampaignJournal":
+        """Read a journal back, validating format and uniqueness."""
+        path = Path(path)
+        try:
+            payload = json.loads(path.read_text())
+        except FileNotFoundError:
+            raise JournalError(f"no journal at {path}") from None
+        except (OSError, json.JSONDecodeError) as exc:
+            raise JournalError(f"unreadable journal {path}: {exc}") from exc
+        if not isinstance(payload, dict) or payload.get("format") != JOURNAL_FORMAT:
+            raise JournalError(
+                f"unsupported journal format {payload.get('format')!r} in {path}"
+                if isinstance(payload, dict)
+                else f"journal {path} is not a JSON object"
+            )
+        try:
+            header = JournalHeader(**payload["header"])
+            journal = cls(path, header)
+            for shard in payload.get("shards", []):
+                indices = [int(i) for i in shard["indices"]]
+                results = [result_from_dict(r) for r in shard["results"]]
+                journal._admit_shard(indices, results)
+            for record in payload.get("quarantined", []):
+                journal._admit_quarantine(
+                    QuarantineRecord(
+                        index=int(record["index"]),
+                        plan=plan_from_dict(record["plan"]),
+                        error=record["error"],
+                        attempts=int(record.get("attempts", 1)),
+                    )
+                )
+        except JournalError:
+            raise
+        except (KeyError, TypeError, ValueError) as exc:
+            raise JournalError(f"malformed journal {path}: {exc!r}") from exc
+        return journal
+
+    def verify(self, header: JournalHeader) -> None:
+        """Refuse to resume a journal from a different campaign."""
+        if header == self.header:
+            return
+        mismatches = [
+            f"{name}: journal={ours!r} run={theirs!r}"
+            for name, ours, theirs in (
+                ("app", self.header.app_name, header.app_name),
+                ("config", self.header.config_name, header.config_name),
+                ("n", self.header.n, header.n),
+                ("seed", self.header.seed, header.seed),
+                ("plans", self.header.plans_sha256, header.plans_sha256),
+            )
+            if ours != theirs
+        ]
+        raise JournalError(
+            f"journal {self.path} belongs to a different campaign "
+            f"({'; '.join(mismatches)})"
+        )
+
+    # -- appends (durable before returning) --------------------------------
+
+    def record_shard(
+        self, indices: Iterable[int], results: Sequence[InjectionResult]
+    ) -> None:
+        """Durably journal one completed shard."""
+        self._admit_shard(list(indices), list(results))
+        self._flush()
+
+    def record_quarantine(
+        self, index: int, plan: InjectionPlan, error: str, attempts: int
+    ) -> None:
+        """Durably journal one poison plan."""
+        self._admit_quarantine(
+            QuarantineRecord(index=index, plan=plan, error=error, attempts=attempts)
+        )
+        self._flush()
+
+    def _claim(self, indices: Iterable[int]) -> None:
+        for index in indices:
+            if index in self._seen:
+                raise JournalError(
+                    f"plan {index} appears twice in journal {self.path}; "
+                    f"refusing to double-count"
+                )
+            if not 0 <= index < self.header.n:
+                raise JournalError(
+                    f"plan index {index} outside campaign of n={self.header.n}"
+                )
+            self._seen.add(index)
+
+    def _admit_shard(
+        self, indices: list[int], results: list[InjectionResult]
+    ) -> None:
+        if len(indices) != len(results):
+            raise JournalError(
+                f"shard with {len(indices)} indices but {len(results)} results"
+            )
+        self._claim(indices)
+        self._shards.append((tuple(indices), results))
+
+    def _admit_quarantine(self, record: QuarantineRecord) -> None:
+        self._claim((record.index,))
+        self._quarantined.append(record)
+
+    # -- views -------------------------------------------------------------
+
+    @property
+    def completed_indices(self) -> frozenset[int]:
+        """Plan indices with a journaled result."""
+        return frozenset(i for indices, _ in self._shards for i in indices)
+
+    @property
+    def quarantined(self) -> tuple[QuarantineRecord, ...]:
+        """Poison plans, in quarantine order."""
+        return tuple(self._quarantined)
+
+    @property
+    def settled_indices(self) -> frozenset[int]:
+        """Every index that must not be re-run: completed or quarantined."""
+        return frozenset(self._seen)
+
+    def pairs(self) -> list[tuple[int, InjectionResult]]:
+        """All journaled (index, result) pairs, sorted by index."""
+        out = [
+            (index, result)
+            for indices, results in self._shards
+            for index, result in zip(indices, results)
+        ]
+        out.sort(key=lambda pair: pair[0])
+        return out
+
+    # -- serialization -----------------------------------------------------
+
+    def _flush(self) -> None:
+        payload = {
+            "format": JOURNAL_FORMAT,
+            "header": self.header.to_dict(),
+            "shards": [
+                {
+                    "indices": list(indices),
+                    "results": [result_to_dict(r) for r in results],
+                }
+                for indices, results in self._shards
+            ],
+            "quarantined": [
+                {
+                    "index": record.index,
+                    "plan": plan_to_dict(record.plan),
+                    "error": record.error,
+                    "attempts": record.attempts,
+                }
+                for record in self._quarantined
+            ],
+        }
+        atomic_write_text(self.path, json.dumps(payload, indent=1))
+
+
+__all__ = [
+    "CampaignJournal",
+    "JournalHeader",
+    "QuarantineRecord",
+    "plans_digest",
+    "JOURNAL_FORMAT",
+]

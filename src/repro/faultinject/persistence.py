@@ -3,11 +3,18 @@
 Large campaigns are the expensive artifact of this package; saving them
 lets reports (Table 3, Figure 5, fault-site analysis) be regenerated and
 extended without re-running injections, and makes results shareable.
+
+All saves go through :func:`atomic_write_text` (write to a temp file in
+the destination directory, then ``os.replace``), so an interrupted save
+can never leave a corrupt or truncated file behind -- the reader sees
+either the old contents or the new, never a prefix.
 """
 
 from __future__ import annotations
 
 import json
+import os
+import tempfile
 from pathlib import Path
 
 from repro.faultinject.campaign import CampaignResult
@@ -20,7 +27,34 @@ from repro.machine.signals import Signal
 FORMAT_VERSION = 1
 
 
-def _plan_to_dict(plan: InjectionPlan) -> dict:
+def atomic_write_text(path: str | Path, text: str) -> Path:
+    """Durably replace *path* with *text*: temp file + fsync + rename.
+
+    The temp file lives in the destination directory so the final
+    ``os.replace`` is atomic (same filesystem); on any failure the temp
+    file is removed and the original *path* is untouched.
+    """
+    path = Path(path)
+    fd, tmp = tempfile.mkstemp(
+        dir=path.parent or Path("."), prefix=f".{path.name}.", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    return path
+
+
+def plan_to_dict(plan: InjectionPlan) -> dict:
+    """JSON-safe dict for one :class:`InjectionPlan`."""
     return {
         "dyn_index": plan.dyn_index,
         "bit": plan.bit,
@@ -29,7 +63,8 @@ def _plan_to_dict(plan: InjectionPlan) -> dict:
     }
 
 
-def _plan_from_dict(data: dict) -> InjectionPlan:
+def plan_from_dict(data: dict) -> InjectionPlan:
+    """Inverse of :func:`plan_to_dict`."""
     return InjectionPlan(
         dyn_index=data["dyn_index"],
         bit=data["bit"],
@@ -38,30 +73,41 @@ def _plan_from_dict(data: dict) -> InjectionPlan:
     )
 
 
-def _result_to_dict(result: InjectionResult) -> dict:
+def result_to_dict(result: InjectionResult) -> dict:
+    """JSON-safe dict for one :class:`InjectionResult`."""
     return {
         "outcome": result.outcome.value,
-        "plan": _plan_to_dict(result.plan),
+        "plan": plan_to_dict(result.plan),
         "target_pc": result.target_pc,
         "target_reg": list(result.target_reg) if result.target_reg else None,
         "first_signal": result.first_signal.name if result.first_signal else None,
         "interventions": result.interventions,
         "steps": result.steps,
+        "timed_out": result.timed_out,
     }
 
 
-def _result_from_dict(data: dict) -> InjectionResult:
+def result_from_dict(data: dict) -> InjectionResult:
+    """Inverse of :func:`result_to_dict`."""
     target = data.get("target_reg")
     signal = data.get("first_signal")
     return InjectionResult(
         outcome=Outcome(data["outcome"]),
-        plan=_plan_from_dict(data["plan"]),
+        plan=plan_from_dict(data["plan"]),
         target_pc=data.get("target_pc"),
         target_reg=(target[0], target[1]) if target else None,
         first_signal=Signal[signal] if signal else None,
         interventions=data.get("interventions", 0),
         steps=data.get("steps", 0),
+        timed_out=data.get("timed_out", False),
     )
+
+
+# Backwards-compatible private aliases (pre-journal spelling).
+_plan_to_dict = plan_to_dict
+_plan_from_dict = plan_from_dict
+_result_to_dict = result_to_dict
+_result_from_dict = result_from_dict
 
 
 def campaign_to_json(campaign: CampaignResult) -> str:
@@ -72,7 +118,7 @@ def campaign_to_json(campaign: CampaignResult) -> str:
         "config_name": campaign.config_name,
         "n": campaign.n,
         "counts": {o.value: c for o, c in campaign.counts.items()},
-        "results": [_result_to_dict(r) for r in campaign.results],
+        "results": [result_to_dict(r) for r in campaign.results],
     }
     return json.dumps(payload, indent=1)
 
@@ -87,15 +133,13 @@ def campaign_from_json(text: str) -> CampaignResult:
         config_name=payload["config_name"],
         n=payload["n"],
         counts={Outcome(k): v for k, v in payload["counts"].items()},
-        results=[_result_from_dict(r) for r in payload.get("results", [])],
+        results=[result_from_dict(r) for r in payload.get("results", [])],
     )
 
 
 def save_campaign(campaign: CampaignResult, path: str | Path) -> Path:
-    """Write a campaign to *path*."""
-    path = Path(path)
-    path.write_text(campaign_to_json(campaign))
-    return path
+    """Atomically write a campaign to *path*."""
+    return atomic_write_text(path, campaign_to_json(campaign))
 
 
 def load_campaign(path: str | Path) -> CampaignResult:
@@ -113,6 +157,11 @@ def merge_campaigns(*campaigns: CampaignResult) -> CampaignResult:
 
 
 __all__ = [
+    "atomic_write_text",
+    "plan_to_dict",
+    "plan_from_dict",
+    "result_to_dict",
+    "result_from_dict",
     "campaign_to_json",
     "campaign_from_json",
     "save_campaign",

@@ -112,3 +112,43 @@ def test_fraction_and_rates(paired):
     assert 0.0 <= benign.value <= 1.0
     assert result.sdc_rate().denominator == N
     assert result.crash_rate().denominator == N
+
+
+# -- CampaignResult.merge edge cases ----------------------------------------
+
+
+def test_merge_empty_shard_list_raises():
+    from repro.faultinject import CampaignResult
+
+    with pytest.raises(ValueError, match="nothing to merge"):
+        CampaignResult.merge([])
+
+
+def test_merge_shard_with_zero_results():
+    """An empty shard (n=0) is a no-op contribution, not an error."""
+    from repro.faultinject import CampaignResult
+
+    empty = CampaignResult("app", "cfg", 0, {})
+    full = CampaignResult("app", "cfg", 2, {Outcome.BENIGN: 2})
+    merged = CampaignResult.merge([empty, full, empty])
+    assert merged.n == 2
+    assert merged.counts == {Outcome.BENIGN: 2}
+    assert merged.results == []
+    assert CampaignResult.merge([empty]).n == 0
+
+
+def test_duplicate_plans_on_bad_resume_raise(pennant_app, tmp_path):
+    """A doctored journal that repeats a shard must raise at resume time,
+    not silently double-count the duplicated plans."""
+    import json
+
+    from repro.errors import JournalError
+    from repro.faultinject import CampaignEngine
+
+    path = tmp_path / "c.journal"
+    CampaignEngine(jobs=1).run(pennant_app, 4, seed=SEED, journal=path)
+    payload = json.loads(path.read_text())
+    payload["shards"].append(payload["shards"][0])
+    path.write_text(json.dumps(payload))
+    with pytest.raises(JournalError, match="twice"):
+        CampaignEngine(jobs=1).run(pennant_app, 4, seed=SEED, resume=path)

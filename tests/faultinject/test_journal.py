@@ -1,0 +1,135 @@
+"""Campaign journal: durability, identity, and duplicate detection."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import JournalError
+from repro.faultinject import InjectionResult, Outcome, plan_injections
+from repro.faultinject.journal import (
+    JOURNAL_FORMAT,
+    CampaignJournal,
+    JournalHeader,
+    plans_digest,
+)
+
+SEED = 5
+
+
+@pytest.fixture
+def plans():
+    return plan_injections(np.random.default_rng(SEED), 100_000, 8)
+
+
+@pytest.fixture
+def header(plans):
+    return JournalHeader.for_campaign("pennant", "LetGo-E", 8, SEED, plans)
+
+
+def _result(plan, outcome=Outcome.BENIGN):
+    return InjectionResult(outcome=outcome, plan=plan, steps=123)
+
+
+def test_roundtrip(tmp_path, plans, header):
+    path = tmp_path / "c.journal"
+    journal = CampaignJournal.create(path, header)
+    journal.record_shard([0, 1], [_result(plans[0]), _result(plans[1])])
+    journal.record_shard([4], [_result(plans[4], Outcome.SDC)])
+    journal.record_quarantine(2, plans[2], "RuntimeError('poison')", attempts=3)
+
+    loaded = CampaignJournal.load(path)
+    assert loaded.header == header
+    assert loaded.completed_indices == {0, 1, 4}
+    assert loaded.settled_indices == {0, 1, 2, 4}
+    assert [idx for idx, _ in loaded.pairs()] == [0, 1, 4]
+    assert loaded.pairs()[2][1].outcome is Outcome.SDC
+    (record,) = loaded.quarantined
+    assert record.index == 2 and record.plan == plans[2]
+    assert record.attempts == 3 and "poison" in record.error
+
+
+def test_every_append_is_durable_and_atomic(tmp_path, plans, header):
+    """The on-disk file parses after every append; no temp litter."""
+    path = tmp_path / "c.journal"
+    journal = CampaignJournal.create(path, header)
+    assert CampaignJournal.load(path).completed_indices == frozenset()
+    for idx in range(3):
+        journal.record_shard([idx], [_result(plans[idx])])
+        assert CampaignJournal.load(path).completed_indices == set(range(idx + 1))
+    assert [p.name for p in tmp_path.iterdir()] == ["c.journal"]
+
+
+def test_create_refuses_existing(tmp_path, header):
+    path = tmp_path / "c.journal"
+    CampaignJournal.create(path, header)
+    with pytest.raises(JournalError, match="already exists"):
+        CampaignJournal.create(path, header)
+    CampaignJournal.create(path, header, overwrite=True)
+
+
+def test_duplicate_plan_rejected_on_append(tmp_path, plans, header):
+    journal = CampaignJournal.create(tmp_path / "c.journal", header)
+    journal.record_shard([0, 1], [_result(plans[0]), _result(plans[1])])
+    with pytest.raises(JournalError, match="twice"):
+        journal.record_shard([1], [_result(plans[1])])
+    with pytest.raises(JournalError, match="twice"):
+        journal.record_quarantine(0, plans[0], "boom", attempts=1)
+
+
+def test_duplicate_plan_rejected_on_load(tmp_path, plans, header):
+    """A journal doctored to repeat a shard must raise, not double-count."""
+    path = tmp_path / "c.journal"
+    journal = CampaignJournal.create(path, header)
+    journal.record_shard([3], [_result(plans[3])])
+    payload = json.loads(path.read_text())
+    payload["shards"].append(payload["shards"][0])
+    path.write_text(json.dumps(payload))
+    with pytest.raises(JournalError, match="twice"):
+        CampaignJournal.load(path)
+
+
+def test_out_of_range_index_rejected(tmp_path, plans, header):
+    journal = CampaignJournal.create(tmp_path / "c.journal", header)
+    with pytest.raises(JournalError, match="outside"):
+        journal.record_shard([8], [_result(plans[0])])
+
+
+def test_shard_length_mismatch_rejected(tmp_path, plans, header):
+    journal = CampaignJournal.create(tmp_path / "c.journal", header)
+    with pytest.raises(JournalError, match="indices"):
+        journal.record_shard([0, 1], [_result(plans[0])])
+
+
+def test_verify_rejects_other_campaign(tmp_path, plans, header):
+    journal = CampaignJournal.create(tmp_path / "c.journal", header)
+    journal.verify(header)  # same campaign: fine
+    other_seed = JournalHeader.for_campaign("pennant", "LetGo-E", 8, 99, plans)
+    with pytest.raises(JournalError, match="seed"):
+        journal.verify(other_seed)
+    other_plans = plan_injections(np.random.default_rng(SEED + 1), 100_000, 8)
+    shifted = JournalHeader.for_campaign("pennant", "LetGo-E", 8, SEED, other_plans)
+    with pytest.raises(JournalError, match="plans"):
+        journal.verify(shifted)
+
+
+def test_load_rejects_garbage(tmp_path):
+    path = tmp_path / "c.journal"
+    with pytest.raises(JournalError, match="no journal"):
+        CampaignJournal.load(path)
+    path.write_text("{ not json")
+    with pytest.raises(JournalError, match="unreadable"):
+        CampaignJournal.load(path)
+    path.write_text(json.dumps({"format": 99, "header": {}}))
+    with pytest.raises(JournalError, match="format"):
+        CampaignJournal.load(path)
+    path.write_text(json.dumps({"format": JOURNAL_FORMAT, "header": {"bad": 1}}))
+    with pytest.raises(JournalError, match="malformed"):
+        CampaignJournal.load(path)
+
+
+def test_plans_digest_pins_population(plans):
+    assert plans_digest(plans) == plans_digest(list(plans))
+    assert plans_digest(plans) != plans_digest(plans[:-1])
+    reordered = [plans[1], plans[0], *plans[2:]]
+    assert plans_digest(plans) != plans_digest(reordered)

@@ -84,3 +84,34 @@ def test_merge_rejects_mismatched(pennant_app, hpl_app):
 def test_merge_empty():
     with pytest.raises(ValueError):
         merge_campaigns()
+
+
+# -- atomic saves -----------------------------------------------------------
+
+
+def test_save_leaves_no_temp_files(campaign, tmp_path):
+    save_campaign(campaign, tmp_path / "c.json")
+    save_campaign(campaign, tmp_path / "c.json")  # overwrite is fine too
+    assert [p.name for p in tmp_path.iterdir()] == ["c.json"]
+
+
+def test_interrupted_save_preserves_old_file(campaign, tmp_path, monkeypatch):
+    """A save that dies mid-write never corrupts the previous result."""
+    import os
+
+    from repro.faultinject.persistence import atomic_write_text
+
+    path = tmp_path / "c.json"
+    save_campaign(campaign, path)
+    before = path.read_text()
+
+    def torn_replace(src, dst):
+        raise OSError("disk full")
+
+    monkeypatch.setattr(os, "replace", torn_replace)
+    with pytest.raises(OSError, match="disk full"):
+        atomic_write_text(path, "half-written garbage")
+    monkeypatch.undo()
+    assert path.read_text() == before
+    assert [p.name for p in tmp_path.iterdir()] == ["c.json"]
+    assert load_campaign(path).n == campaign.n

@@ -92,3 +92,54 @@ def test_parallel(capsys):
     assert main(["parallel", "--ranks", "2", "--seeds", "2"]) == 0
     out = capsys.readouterr().out
     assert "cr+letgo" in out and "efficiency" in out
+
+
+def test_campaign_journal_then_resume(tmp_path, capsys):
+    journal = str(tmp_path / "c.journal")
+    base = ["campaign", "--app", "pennant", "-n", "6", "--seed", "2",
+            "--max-retries", "1", "--wall-clock-limit", "3600"]
+    assert main([*base, "--journal", journal]) == 0
+    capsys.readouterr()
+    assert main([*base, "--resume", journal]) == 0
+    out = capsys.readouterr().out
+    assert "resumed=6" in out  # nothing re-run; result rebuilt from journal
+    assert "crash rate" in out
+
+
+def test_campaign_journal_resume_mutually_exclusive(tmp_path):
+    with pytest.raises(SystemExit):
+        main(["campaign", "--app", "pennant", "-n", "4",
+              "--journal", str(tmp_path / "a"), "--resume", str(tmp_path / "b")])
+
+
+def test_campaign_abort_prints_one_line_error(monkeypatch, capsys):
+    from repro.errors import CampaignAbortedError
+    from repro.faultinject.engine import CampaignEngine
+
+    def doomed(self, *args, **kwargs):
+        raise CampaignAbortedError("worker pool broke 3 times; giving up",
+                                   journal="pennant.journal")
+
+    monkeypatch.setattr(CampaignEngine, "run", doomed)
+    assert main(["campaign", "--app", "pennant", "-n", "4"]) == 1
+    captured = capsys.readouterr()
+    assert captured.err.count("\n") == 1  # one line, not a traceback
+    assert "campaign failed" in captured.err
+    assert "--resume pennant.journal" in captured.err
+
+
+def test_campaign_interrupt_names_resume_journal(monkeypatch, capsys, tmp_path):
+    from repro.faultinject.engine import CampaignEngine
+
+    journal = str(tmp_path / "c.journal")
+
+    def interrupted(self, *args, **kwargs):
+        raise KeyboardInterrupt
+
+    monkeypatch.setattr(CampaignEngine, "run", interrupted)
+    assert main(["campaign", "--app", "pennant", "-n", "4",
+                 "--journal", journal]) == 130
+    err = capsys.readouterr().err
+    assert "interrupted" in err and f"--resume {journal}" in err
+    assert main(["campaign", "--app", "pennant", "-n", "4"]) == 130
+    assert "no journal" in capsys.readouterr().err
