@@ -1,10 +1,21 @@
 """Microbenchmarks of the substrate (pytest-benchmark proper).
 
-Times the building blocks every experiment leans on: interpreter
+Times the building blocks every experiment leans on: execution backend
 throughput, compile time, loader, profiler, one injection run, one C/R
 simulation.  These are the numbers that determine how large a campaign a
 given time budget can afford.
+
+Also runnable standalone -- ``python benchmarks/bench_micro_substrate.py``
+times both execution backends on the tight loop without pytest-benchmark
+and records ``results/BENCH_micro.json`` (backend -> instructions/sec),
+the first point of the perf trajectory CI tracks.
 """
+
+import json
+import platform
+import sys
+from pathlib import Path
+from time import perf_counter
 
 import pytest
 
@@ -32,16 +43,27 @@ loop:
 """
 
 
-def test_interpreter_throughput(benchmark):
+#: Retirements of one TIGHT_LOOP run.
+TIGHT_LOOP_INSTRET = 600_004
+
+BACKENDS = ("interpreter", "compiled")
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_backend_throughput(benchmark, backend):
     program = assemble(TIGHT_LOOP)
+    # Warm run: compiles the closure table once; the per-image code cache
+    # makes every subsequent Process.load of the same program reuse it,
+    # exactly as engine shards do.
+    Process.load(program, backend=backend).run(10**7)
 
     def run():
-        process = Process.load(program)
+        process = Process.load(program, backend=backend)
         process.run(10**7)
         return process.cpu.instret
 
     instret = benchmark(run)
-    assert instret == 600_004
+    assert instret == TIGHT_LOOP_INSTRET
 
 
 def test_compile_pennant(benchmark, apps):
@@ -102,3 +124,55 @@ def test_crsim_one_run(benchmark):
         iterations=1,
     )
     assert result.useful >= month
+
+
+# -- standalone smoke mode ---------------------------------------------------
+
+
+def _throughput(backend: str, repeats: int = 3) -> float:
+    """Best-of-*repeats* instructions/sec on TIGHT_LOOP (code cache warm)."""
+    program = assemble(TIGHT_LOOP)
+    Process.load(program, backend=backend).run(10**7)  # warm the code cache
+    best = 0.0
+    for _ in range(repeats):
+        process = Process.load(program, backend=backend)
+        start = perf_counter()
+        process.run(10**7)
+        elapsed = perf_counter() - start
+        assert process.cpu.instret == TIGHT_LOOP_INSTRET
+        best = max(best, TIGHT_LOOP_INSTRET / elapsed)
+    return best
+
+
+def record_backend_throughput(path: Path | None = None) -> dict:
+    """Time both backends and write ``BENCH_micro.json``."""
+    if path is None:
+        path = Path(__file__).parent / "results" / "BENCH_micro.json"
+    backends = {
+        backend: {"instructions_per_sec": round(_throughput(backend))}
+        for backend in BACKENDS
+    }
+    payload = {
+        "benchmark": "tight-loop substrate throughput",
+        "workload_instret": TIGHT_LOOP_INSTRET,
+        "python": platform.python_version(),
+        "backends": backends,
+        "compiled_speedup": round(
+            backends["compiled"]["instructions_per_sec"]
+            / backends["interpreter"]["instructions_per_sec"],
+            2,
+        ),
+    }
+    path.parent.mkdir(exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    return payload
+
+
+if __name__ == "__main__":
+    report = record_backend_throughput()
+    for backend, row in report["backends"].items():
+        print(f"{backend:12s} {row['instructions_per_sec'] / 1e6:6.2f} M instr/s")
+    print(f"compiled speedup: {report['compiled_speedup']:.2f}x")
+    if report["compiled_speedup"] < 1.5:
+        print("FAIL: compiled backend below the 1.5x floor", file=sys.stderr)
+        raise SystemExit(1)

@@ -120,9 +120,9 @@ class MiniApp(ABC):
         """The linked image."""
         return self.unit.program
 
-    def load(self) -> Process:
-        """A fresh process for one run."""
-        return Process.load(self.program)
+    def load(self, backend: str | None = None) -> Process:
+        """A fresh process for one run (*backend* picks the engine)."""
+        return Process.load(self.program, backend=backend)
 
     # -- golden facts ----------------------------------------------------------
 

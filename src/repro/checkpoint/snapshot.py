@@ -83,14 +83,16 @@ def restore_into(process: Process, snap: Snapshot) -> Process:
     return process
 
 
-def restore(program: Program, snap: Snapshot) -> Process:
+def restore(program: Program, snap: Snapshot, backend: str | None = None) -> Process:
     """Materialise a fresh process at the snapshot's state.
 
     The program image must be the one the snapshot was taken from.
+    Snapshots are backend-agnostic; *backend* picks the execution engine
+    of the restored process.
     """
     if program.checksum() != snap.checksum:
         raise SimulationError("snapshot belongs to a different program image")
-    return restore_into(Process.load(program), snap)
+    return restore_into(Process.load(program, backend=backend), snap)
 
 
 @dataclass(frozen=True)

@@ -67,13 +67,18 @@ def _cmd_objdump(args: argparse.Namespace) -> int:
 
 def _cmd_golden(args: argparse.Namespace) -> int:
     app = make_app(args.app)
-    golden = app.golden
-    print(f"{app.name}: exited {golden.exit_code} after {golden.instret:,} instructions")
-    for kind, value in golden.output[:20]:
+    process = app.load(args.backend)
+    process.run(app.max_steps)
+    output = list(process.output)
+    print(
+        f"{app.name}: exited {process.exit_code} after "
+        f"{process.cpu.instret:,} instructions [{process.backend} backend]"
+    )
+    for kind, value in output[:20]:
         print(f"  {kind} {value!r}")
-    if len(golden.output) > 20:
-        print(f"  ... {len(golden.output) - 20} more values")
-    verdict = app.acceptance_check(list(golden.output))
+    if len(output) > 20:
+        print(f"  ... {len(output) - 20} more values")
+    verdict = app.acceptance_check(output)
     print(f"acceptance check: {'PASS' if verdict else 'FAIL'}")
     return 0 if verdict else 1
 
@@ -94,7 +99,7 @@ def _cmd_inject(args: argparse.Namespace) -> int:
     plan = InjectionPlan(
         dyn_index=args.dyn_index, bit=args.bit, reg_choice=args.reg_choice
     )
-    result = run_injection(app, plan, config=_variant(args.letgo))
+    result = run_injection(app, plan, config=_variant(args.letgo), backend=args.backend)
     print(f"outcome: {result.outcome.value}")
     print(f"target: pc={result.target_pc} reg={result.target_reg}")
     if result.first_signal is not None:
@@ -117,6 +122,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         max_retries=args.max_retries,
         wall_clock_limit=args.wall_clock_limit,
         shard_size=args.shard_size,
+        backend=args.backend,
     )
     journal_path = args.journal or args.resume
     try:
@@ -262,6 +268,18 @@ def _cmd_parallel(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_backend_arg(p: argparse.ArgumentParser) -> None:
+    from repro.machine.compiled import BACKENDS
+
+    p.add_argument(
+        "--backend",
+        choices=sorted(BACKENDS),
+        default=None,
+        help="execution engine (default: compiled, or $REPRO_BACKEND); "
+             "outcomes are backend-invariant",
+    )
+
+
 def _ladder_interval(text: str) -> int:
     value = int(text)
     if value < 0:
@@ -282,6 +300,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("golden", help="run an app and check its output")
     p.add_argument("--app", required=True, choices=app_names())
+    _add_backend_arg(p)
 
     p = sub.add_parser("inject", help="run one fault injection")
     p.add_argument("--app", required=True, choices=app_names())
@@ -289,6 +308,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--bit", type=int, default=45)
     p.add_argument("--reg-choice", type=float, default=0.5)
     p.add_argument("--letgo", choices=sorted(VARIANTS), default=None)
+    _add_backend_arg(p)
 
     p = sub.add_parser("campaign", help="run an injection campaign")
     p.add_argument("--app", required=True, choices=app_names())
@@ -323,6 +343,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--shard-size", type=int, default=None, metavar="P",
                    help="plans per shard (default: one shard per worker, "
                         "finer when journaling)")
+    _add_backend_arg(p)
 
     p = sub.add_parser("simulate", help="C/R efficiency with vs without LetGo")
     p.add_argument("--app", required=True, choices=list(PAPER_APP_PARAMS))

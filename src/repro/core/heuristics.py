@@ -55,6 +55,11 @@ def _in_stack(value: int) -> bool:
     return STACK_LIMIT <= value <= STACK_TOP
 
 
+def _clamp_stack(value: int) -> int:
+    """Nearest address inside the stack segment."""
+    return min(STACK_TOP, max(STACK_LIMIT, value))
+
+
 def _frame_base_reg(instr: Instr) -> int | None:
     """Which of sp/bp the faulting instruction addresses memory through."""
     if instr.op in (Op.PUSH, Op.FPUSH, Op.POP, Op.FPOP, Op.CALL, Op.RET):
@@ -107,8 +112,26 @@ def apply_heuristic2(
         # Both in range but relationship broken (or both wild): blame the
         # register the faulting instruction used, per the paper.
         corrupt = used
+    # The anchor register the blamed one is recomputed from may itself be
+    # wild (both-wild case): clamp it into the stack first, otherwise the
+    # "repair" reproduces the corruption and guarantees a give-up double
+    # crash.  After clamping, frame arithmetic from an anchor at a segment
+    # edge can step just outside it, so the recomputed value is clamped
+    # too.  An in-stack anchor is trusted as-is (Heuristic II's original
+    # behaviour for the single-corruption case).
     if corrupt == BP:
-        new_bp = sp + frame
+        if not _in_stack(sp):
+            clamped = _clamp_stack(sp)
+            report.actions.append(
+                RepairAction(
+                    kind="clamp-sp",
+                    description=f"sp 0x{sp:x} -> 0x{clamped:x} (wild anchor clamped into stack)",
+                )
+            )
+            regs[SP] = sp = clamped
+            new_bp = _clamp_stack(sp + frame)
+        else:
+            new_bp = sp + frame
         report.actions.append(
             RepairAction(
                 kind="fix-bp",
@@ -117,7 +140,18 @@ def apply_heuristic2(
         )
         regs[BP] = new_bp
     else:
-        new_sp = bp - frame
+        if not _in_stack(bp):
+            clamped = _clamp_stack(bp)
+            report.actions.append(
+                RepairAction(
+                    kind="clamp-bp",
+                    description=f"bp 0x{bp:x} -> 0x{clamped:x} (wild anchor clamped into stack)",
+                )
+            )
+            regs[BP] = bp = clamped
+            new_sp = _clamp_stack(bp - frame)
+        else:
+            new_sp = bp - frame
         report.actions.append(
             RepairAction(
                 kind="fix-sp",

@@ -59,7 +59,7 @@ from time import perf_counter, sleep
 import numpy as np
 
 from repro.apps.base import MiniApp
-from repro.checkpoint.snapshot import SnapshotLadder, restore
+from repro.checkpoint.snapshot import SnapshotLadder, restore, restore_into, snapshot
 from repro.core.config import LetGoConfig
 from repro.errors import CampaignAbortedError
 from repro.faultinject.campaign import CampaignResult
@@ -151,7 +151,10 @@ class EngineStats:
 
 
 def _seed_session(
-    app: MiniApp, plan: InjectionPlan, ladder: SnapshotLadder | None
+    app: MiniApp,
+    plan: InjectionPlan,
+    ladder: SnapshotLadder | None,
+    backend: str | None = None,
 ) -> tuple[DebugSession, bool, int]:
     """A session positioned for *plan*: nearest rung, or a cold load.
 
@@ -160,8 +163,12 @@ def _seed_session(
     target = plan.dyn_index - 1
     snap = ladder.nearest(target) if ladder is not None else None
     if snap is None:
-        return DebugSession(app.load()), False, target
-    return DebugSession(restore(app.program, snap)), True, target - snap.instret
+        return DebugSession(app.load(backend)), False, target
+    return (
+        DebugSession(restore(app.program, snap, backend=backend)),
+        True,
+        target - snap.instret,
+    )
 
 
 def _run_shard(
@@ -170,6 +177,7 @@ def _run_shard(
     config: LetGoConfig | None,
     batch: list[tuple[int, InjectionPlan]],
     wall_clock_limit: float | None = None,
+    backend: str | None = None,
 ) -> tuple[list[tuple[int, InjectionResult]], tuple[int, int, int, float]]:
     """Run one shard of (index, plan) pairs.
 
@@ -177,18 +185,36 @@ def _run_shard(
     returned pairs are in index order, so reassembling shards by plan
     index reproduces the serial result order exactly.
     Shard stats: (restored, cold_starts, fast_forward_steps, seconds).
+
+    One *host process* serves the whole shard: every plan restores its
+    launch state (ladder rung, or a pristine instret-0 snapshot) into the
+    same process, so segment mapping, CPU construction and -- on the
+    compiled backend -- closure-table compilation are paid once per shard
+    rather than once per injection.
     """
     t0 = perf_counter()
     restored = cold = fast_forward = 0
     out: dict[int, InjectionResult] = {}
+    host = app.load(backend)
+    pristine = snapshot(host)
     for idx, plan in sorted(batch, key=lambda pair: pair[1].dyn_index):
-        session, from_rung, remaining = _seed_session(app, plan, ladder)
+        target = plan.dyn_index - 1
+        snap = ladder.nearest(target) if ladder is not None else None
+        if snap is None:
+            restore_into(host, pristine)
+            cold += 1
+            fast_forward += target
+        else:
+            restore_into(host, snap)
+            restored += 1
+            fast_forward += target - snap.instret
         out[idx] = run_injection(
-            app, plan, config, session=session, wall_clock_limit=wall_clock_limit
+            app,
+            plan,
+            config,
+            session=DebugSession(host),
+            wall_clock_limit=wall_clock_limit,
         )
-        restored += from_rung
-        cold += not from_rung
-        fast_forward += remaining
     pairs = [(idx, out[idx]) for idx in sorted(out)]
     return pairs, (restored, cold, fast_forward, perf_counter() - t0)
 
@@ -244,12 +270,14 @@ def _worker_init(
     interval: int | None,
     config: LetGoConfig | None,
     wall_clock_limit: float | None = None,
+    backend: str | None = None,
 ) -> None:
     app = _app_from_spec(spec)
     _WORKER["app"] = app
     _WORKER["ladder"] = app.ladder(interval) if interval != NO_LADDER else None
     _WORKER["config"] = config
     _WORKER["wall_clock_limit"] = wall_clock_limit
+    _WORKER["backend"] = backend
 
 
 def _worker_run(batch: list[tuple[int, InjectionPlan]]):
@@ -259,6 +287,7 @@ def _worker_run(batch: list[tuple[int, InjectionPlan]]):
         _WORKER["config"],
         batch,
         _WORKER.get("wall_clock_limit"),
+        _WORKER.get("backend"),
     )
 
 
@@ -328,6 +357,7 @@ class _Supervisor:
                     self.config,
                     shard,
                     self.engine.wall_clock_limit,
+                    self.engine.backend,
                 )
             except Exception as exc:
                 self._failure(shard, exc)
@@ -349,6 +379,7 @@ class _Supervisor:
                     interval,
                     self.config,
                     self.engine.wall_clock_limit,
+                    self.engine.backend,
                 ),
             )
         except Exception:
@@ -486,12 +517,16 @@ class CampaignEngine:
     * ``wall_clock_limit``: per-injection watchdog seconds (None = off;
       expired runs classify as ``HANG`` -- a non-deterministic safety
       valve, so leave it off when bit-identical reruns matter).
+    * ``backend``: execution engine for injection runs ("interpreter" or
+      "compiled"; None = the package default).  Outcomes are
+      backend-invariant -- the differential suite proves it -- so this
+      only changes speed.
 
     For the same (app, n, seed, config, plans) every (jobs,
-    ladder_interval, shard_size) combination produces an identical
-    :class:`CampaignResult`; the engine only changes how fast it arrives
-    and what it survives.  The last run's :class:`EngineStats` is kept on
-    :attr:`stats`.
+    ladder_interval, shard_size, backend) combination produces an
+    identical :class:`CampaignResult`; the engine only changes how fast
+    it arrives and what it survives.  The last run's :class:`EngineStats`
+    is kept on :attr:`stats`.
     """
 
     def __init__(
@@ -507,10 +542,12 @@ class CampaignEngine:
         max_pool_rebuilds: int = 2,
         serial_fallback: bool = True,
         wall_clock_limit: float | None = None,
+        backend: str | None = None,
     ):
         self.jobs = (os.cpu_count() or 1) if jobs is None else max(1, jobs)
         self.ladder_interval = ladder_interval
         self.keep_results = keep_results
+        self.backend = backend
         if shard_size is not None and shard_size < 1:
             raise ValueError("shard_size must be >= 1")
         self.shard_size = shard_size
@@ -659,10 +696,14 @@ def run_campaign_engine(
     ladder_interval: int | None = None,
     keep_results: bool = False,
     plans: list[InjectionPlan] | None = None,
+    backend: str | None = None,
 ) -> CampaignResult:
     """One-shot convenience wrapper around :class:`CampaignEngine`."""
     engine = CampaignEngine(
-        jobs=jobs, ladder_interval=ladder_interval, keep_results=keep_results
+        jobs=jobs,
+        ladder_interval=ladder_interval,
+        keep_results=keep_results,
+        backend=backend,
     )
     return engine.run(app, n, seed, config, plans=plans)
 

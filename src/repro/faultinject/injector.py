@@ -135,6 +135,7 @@ def run_injection(
     *,
     session: DebugSession | None = None,
     wall_clock_limit: float | None = None,
+    backend: str | None = None,
 ) -> InjectionResult:
     """Execute one injection run; ``config=None`` is the no-LetGo baseline.
 
@@ -146,6 +147,9 @@ def run_injection(
     ``wall_clock_limit`` caps the post-injection continuation in real
     seconds (the golden prefix is bounded by construction); expiry
     classifies as ``HANG`` with ``timed_out=True``.
+
+    ``backend`` picks the execution engine for the freshly loaded process
+    (ignored when *session* is supplied); outcomes are backend-invariant.
     """
     deadline = (
         perf_counter() + wall_clock_limit
@@ -153,7 +157,7 @@ def run_injection(
         else None
     )
     if session is None:
-        session = DebugSession(app.load())
+        session = DebugSession(app.load(backend))
     process = session.process
     placed = _advance_and_flip(session, plan)
     if placed is None:

@@ -108,7 +108,14 @@ class Program:
     # -- identity ------------------------------------------------------------
 
     def checksum(self) -> str:
-        """Stable content hash of the image (code + data + symbols)."""
+        """Stable content hash of the image (code + data + symbols).
+
+        Cached after the first call: images are immutable once assembled,
+        and the restore fast path verifies the checksum per injection.
+        """
+        cached = self.__dict__.get("_checksum")
+        if cached is not None:
+            return cached
         h = hashlib.sha256()
         for ins in self.instrs:
             h.update(
@@ -121,7 +128,9 @@ class Program:
             h.update(f"D{name}:{s.addr}:{s.cells}".encode())
         for addr in sorted(self.data_init):
             h.update(f"I{addr}:{self.data_init[addr]}".encode())
-        return h.hexdigest()
+        digest = h.hexdigest()
+        self.__dict__["_checksum"] = digest
+        return digest
 
     def __len__(self) -> int:
         return len(self.instrs)

@@ -4,6 +4,12 @@ Replaces the hardware + Linux + gdb layer of the original LetGo prototype.
 """
 
 from repro.machine.cluster import Cluster, ClusterEvent, Network
+from repro.machine.compiled import (
+    BACKENDS,
+    CompiledCPU,
+    cpu_class,
+    default_backend,
+)
 from repro.machine.cpu import CPU, STOP_HALT, STOP_STEPS
 from repro.machine.flightrec import FlightRecording, TraceEntry, record
 from repro.machine.debugger import (
@@ -36,6 +42,10 @@ __all__ = [
     "TraceEntry",
     "record",
     "CPU",
+    "CompiledCPU",
+    "BACKENDS",
+    "cpu_class",
+    "default_backend",
     "STOP_HALT",
     "STOP_STEPS",
     "DebugSession",

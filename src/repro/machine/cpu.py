@@ -491,15 +491,27 @@ class CPU:
         self.pc += 1
 
     def _op_fmin(self, ins: Instr) -> None:
+        # IEEE-754 minNum: a quiet NaN loses to a number (see FAULT_MODEL.md).
         f = self.fregs
         a, b = f[ins.ra], f[ins.rb]
-        f[ins.rd] = a if a < b else b
+        if isnan(a):
+            f[ins.rd] = b
+        elif isnan(b):
+            f[ins.rd] = a
+        else:
+            f[ins.rd] = a if a < b else b
         self.pc += 1
 
     def _op_fmax(self, ins: Instr) -> None:
+        # IEEE-754 maxNum: a quiet NaN loses to a number (see FAULT_MODEL.md).
         f = self.fregs
         a, b = f[ins.ra], f[ins.rb]
-        f[ins.rd] = a if a > b else b
+        if isnan(a):
+            f[ins.rd] = b
+        elif isnan(b):
+            f[ins.rd] = a
+        else:
+            f[ins.rd] = a if a > b else b
         self.pc += 1
 
     # -- conversions -----------------------------------------------------------
@@ -551,9 +563,11 @@ class CPU:
     # -- system ------------------------------------------------------------
 
     def _op_halt(self, ins: Instr) -> None:
+        # pc stays on the HALT site: state captured at (or resumed into)
+        # the halt re-reports a clean halt instead of fetch-faulting past
+        # the end of the image.
         self.halted = True
         self.exit_code = self.iregs[0]
-        self.pc += 1
 
     def _op_out(self, ins: Instr) -> None:
         self.output.append(("i", self.iregs[ins.ra]))

@@ -5,6 +5,12 @@ gdb + pexpect: attach, configure which signals *stop* the program instead of
 killing it, run / step / continue, read and write registers, and resume
 after editing state.  Both the LetGo monitor and the fault injector are
 built on this class, mirroring the paper's implementation strategy.
+
+The session is backend-agnostic: it drives the process through the public
+``cpu.run(n)`` contract (budgeted execution, precise traps, ``instret``
+accounting), which both the reference interpreter and the compiled backend
+honour bit-for-bit.  Attaching to a compiled process costs nothing extra --
+single-stepping simply runs with a budget of one.
 """
 
 from __future__ import annotations

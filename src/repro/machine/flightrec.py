@@ -6,6 +6,12 @@ final few steps.  Used to diagnose double crashes (what did the repaired
 run do between the repair and the second trap?) without paying tracing
 costs on the fast path of normal runs -- recording is explicit opt-in and
 runs the slow single-step loop.
+
+Recording works on any execution backend: it only needs budget-1 ``run``
+calls and the architectural registers, both part of the backend contract.
+(On the compiled backend single-stepping forgoes fusion, so a recorded
+stretch runs at roughly interpreter speed -- fine for post-mortems, which
+cover only the last few hundred instructions.)
 """
 
 from __future__ import annotations

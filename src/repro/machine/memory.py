@@ -8,9 +8,12 @@ register, and the result is exactly the reinterpretation x86 would give.
 
 Protection is segment-based: accesses must fall inside a mapped segment
 (else the access *faults*, reported by the CPU as SIGSEGV) and be 8-byte
-aligned (else SIGBUS).  Faults are signalled with the lightweight
-:class:`AccessError` carrying the kind; the CPU converts it to a full
-:class:`~repro.machine.signals.Trap` with PC context.
+aligned (else SIGBUS).  The segment check happens first -- real hardware
+walks the page tables before it complains about alignment -- so an access
+that is both unmapped *and* misaligned reports SIGSEGV.  Faults are
+signalled with the lightweight :class:`AccessError` carrying the kind; the
+CPU converts it to a full :class:`~repro.machine.signals.Trap` with PC
+context.
 """
 
 from __future__ import annotations
@@ -99,20 +102,20 @@ class Memory:
     # -- raw pattern access --------------------------------------------------
 
     def read_pattern(self, address: int) -> int:
-        """Read the 64-bit pattern at *address* (checked)."""
-        if address % CELL:
-            raise AccessError("bus", address, "read")
+        """Read the 64-bit pattern at *address* (checked, mapping first)."""
         for lo, hi in self._ranges:
             if lo <= address < hi:
+                if address % CELL:
+                    raise AccessError("bus", address, "read")
                 return self._cells.get(address, 0)
         raise AccessError("segv", address, "read")
 
     def write_pattern(self, address: int, pattern: int) -> None:
-        """Write a 64-bit pattern at *address* (checked)."""
-        if address % CELL:
-            raise AccessError("bus", address, "write")
+        """Write a 64-bit pattern at *address* (checked, mapping first)."""
         for lo, hi in self._ranges:
             if lo <= address < hi:
+                if address % CELL:
+                    raise AccessError("bus", address, "write")
                 self._cells[address] = pattern & MASK64
                 return
         raise AccessError("segv", address, "write")

@@ -56,13 +56,17 @@ class Process:
     # -- loader ------------------------------------------------------------
 
     @classmethod
-    def load(cls, program: Program) -> "Process":
+    def load(cls, program: Program, backend: str | None = None) -> "Process":
         """Build a fresh process image (the ``exec`` analogue).
 
         Maps the data segment (globals, zero-initialised except for
         ``data_init`` patterns), the stack, sets ``sp = bp = STACK_TOP``
-        and the PC to the entry function.
+        and the PC to the entry function.  *backend* picks the execution
+        engine ("interpreter" or "compiled"); ``None`` uses the package
+        default (see :func:`repro.machine.compiled.default_backend`).
         """
+        from repro.machine.compiled import cpu_class
+
         if not program.instrs:
             raise LoaderError("cannot load an empty program")
         memory = Memory()
@@ -72,11 +76,18 @@ class Process:
             for addr, pattern in program.data_init.items():
                 memory.write_pattern(addr, pattern)
         memory.map_segment("stack", STACK_LIMIT, STACK_SIZE)
-        cpu = CPU(program, memory)
+        cpu = cpu_class(backend)(program, memory)
         cpu.iregs[SP] = STACK_TOP
         cpu.iregs[BP] = STACK_TOP
         cpu.pc = program.entry_pc
         return cls(program, cpu, memory)
+
+    @property
+    def backend(self) -> str:
+        """Name of the execution backend this process runs on."""
+        from repro.machine.compiled import CompiledCPU
+
+        return "compiled" if isinstance(self.cpu, CompiledCPU) else "interpreter"
 
     # -- execution with default signal handling -----------------------------
 

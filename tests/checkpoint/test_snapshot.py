@@ -113,3 +113,34 @@ def test_roundtrip_at_every_phase(program):
         resumed = restore(program, snapshot(process))
         resumed.run(10**6)
         assert resumed.output == reference.output, f"at step {when}"
+
+
+def test_resume_from_halt_state_reports_clean_halt(program):
+    """Regression: HALT used to leave pc past the image, so state captured
+    at the halt fetch-faulted with SIGSEGV on resume.  Now pc stays on the
+    HALT site and a resumed halt-state re-reports a clean exit."""
+    from repro.checkpoint.snapshot import Snapshot
+    from repro.isa import Op
+
+    process = Process.load(program)
+    process.run(10**6)
+    cpu = process.cpu
+    assert cpu.halted
+    assert program.instrs[cpu.pc].op is Op.HALT
+    # snapshot() refuses finished processes by design; capture the halt
+    # state directly, as a checkpoint driver racing the final interval
+    # boundary would have.
+    snap = Snapshot(
+        checksum=program.checksum(),
+        iregs=tuple(cpu.iregs),
+        fregs=tuple(cpu.fregs),
+        pc=cpu.pc,
+        instret=cpu.instret,
+        cells=process.memory.written_cells(),
+        output=tuple(cpu.output),
+    )
+    resumed = restore(program, snap)
+    result = resumed.run(10**6)
+    assert result.reason == "exited"          # not a SIGSEGV fetch fault
+    assert resumed.cpu.instret == snap.instret + 1  # HALT retired once more
+    assert resumed.output == process.output

@@ -181,3 +181,37 @@ def test_h2_fetch_fault_noop(env):
     trap = Trap(Signal.SIGSEGV, pc=10**6, instr=None)
     apply_heuristic2(process, trap, functions, 4096, report)
     assert not report.h2_fired
+
+
+def test_h2_both_wild_repair_lands_in_stack(env):
+    """Regression: with *both* frame registers wild, the repair used to
+    recompute the blamed register from the other, equally wild one --
+    leaving the "repaired" value outside the stack and guaranteeing the
+    give-up double crash.  The anchor is clamped into the stack first."""
+    process, functions = env
+    process.cpu.iregs[SP] = 0x123456789AB   # wild
+    process.cpu.iregs[BP] = 0x40000000000   # wild
+    report = HeuristicReport()
+    # faulting instruction at pc 3 uses bp -> bp is blamed, sp is anchor
+    apply_heuristic2(process, _trap_at(process, 3), functions, 4096, report)
+    assert report.h2_fired
+    sp, bp = process.cpu.iregs[SP], process.cpu.iregs[BP]
+    assert STACK_LIMIT <= sp <= STACK_TOP
+    assert STACK_LIMIT <= bp <= STACK_TOP
+    assert any(a.kind == "clamp-sp" for a in report.actions)
+    assert any(a.kind == "fix-bp" for a in report.actions)
+
+
+def test_h2_both_wild_repair_sp_direction(env):
+    process, functions = env
+    process.cpu.iregs[SP] = -1             # wild, below the segment
+    process.cpu.iregs[BP] = 1 << 50        # wild, above the segment
+    report = HeuristicReport()
+    # faulting instruction at pc 6 is "pop r2": uses sp -> sp is blamed
+    apply_heuristic2(process, _trap_at(process, 6), functions, 4096, report)
+    assert report.h2_fired
+    sp, bp = process.cpu.iregs[SP], process.cpu.iregs[BP]
+    assert STACK_LIMIT <= sp <= STACK_TOP
+    assert STACK_LIMIT <= bp <= STACK_TOP
+    assert any(a.kind == "clamp-bp" for a in report.actions)
+    assert any(a.kind == "fix-sp" for a in report.actions)

@@ -1,0 +1,197 @@
+"""Differential suite: interpreter vs compiled backend, bit-identical.
+
+The compiled backend is only admissible if no observable differs from the
+reference interpreter: golden-run facts, architectural state at arbitrary
+pause points, trap sites and signals, and -- the property campaigns stand
+on -- injection outcomes addressed by ``dyn_index``.  Every check here
+runs the same workload on both backends and compares exhaustively.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.core import VARIANTS
+from repro.faultinject.fault_model import plan_injections
+from repro.faultinject.injector import run_injection
+from repro.isa import Instr, Op, Program
+from repro.machine import CPU, CompiledCPU, Process, Signal
+from repro.machine.signals import Trap
+
+APP_NAMES = ("lulesh", "clamr", "hpl", "comd", "snap", "pennant")
+
+BACKENDS = ("interpreter", "compiled")
+
+
+def _fresh(program: Program, backend: str) -> Process:
+    return Process.load(program, backend=backend)
+
+
+# -- unit-level: trap sites and budget accounting ---------------------------
+
+
+def test_backend_classes_differ():
+    p_i = Process.load(
+        Program(instrs=[Instr(Op.HALT)], functions={"main": 0}),
+        backend="interpreter",
+    )
+    p_c = Process.load(
+        Program(instrs=[Instr(Op.HALT)], functions={"main": 0}),
+        backend="compiled",
+    )
+    assert type(p_i.cpu) is CPU
+    assert isinstance(p_c.cpu, CompiledCPU)
+    assert p_i.backend == "interpreter"
+    assert p_c.backend == "compiled"
+
+
+def test_unknown_backend_rejected():
+    program = Program(instrs=[Instr(Op.HALT)], functions={"main": 0})
+    with pytest.raises(ValueError):
+        Process.load(program, backend="jit")
+
+
+def test_budget_stop_at_wild_pc_matches_interpreter():
+    """Budget expiring right after an out-of-image jump must stop with the
+    wild pc and *no* trap (the fault belongs to the next fetch)."""
+    program = Program(
+        instrs=[
+            Instr(Op.MOVI, rd=1, imm=99999),
+            Instr(Op.PUSH, ra=1),
+            Instr(Op.RET),
+        ],
+        functions={"main": 0},
+    )
+    states = []
+    for backend in BACKENDS:
+        process = _fresh(program, backend)
+        cpu = process.cpu
+        stop = cpu.run(3)          # exactly consumes the budget on the RET
+        assert stop == "steps"
+        assert cpu.pc == 99999     # wild pc exposed, not trapped
+        assert cpu.instret == 3
+        with pytest.raises(Trap) as info:
+            cpu.run(1)             # the next fetch faults
+        assert info.value.signal is Signal.SIGSEGV
+        assert info.value.pc == 99999
+        assert info.value.instr is None
+        states.append((cpu.pc, cpu.instret, str(info.value)))
+    assert states[0] == states[1]
+
+
+def test_trapped_instruction_not_retired_both_backends():
+    program = Program(
+        instrs=[Instr(Op.NOP), Instr(Op.ABORT), Instr(Op.HALT)],
+        functions={"main": 0},
+    )
+    for backend in BACKENDS:
+        cpu = _fresh(program, backend).cpu
+        with pytest.raises(Trap) as info:
+            cpu.run(10)
+        assert cpu.instret == 1, backend
+        assert cpu.pc == 1, backend
+        assert info.value.pc == 1
+
+
+def test_fused_pair_respects_step_budget():
+    """cmp+branch fuses; a budget landing between the two must still split
+    them (the final budgeted step runs unfused)."""
+    program = Program(
+        instrs=[
+            Instr(Op.MOVI, rd=1, imm=0),
+            Instr(Op.MOVI, rd=2, imm=1),
+            Instr(Op.SLT, rd=3, ra=1, rb=2),   # fuses with the BNEZ below
+            Instr(Op.BNEZ, ra=3, imm=5),
+            Instr(Op.HALT),
+            Instr(Op.HALT),
+        ],
+        functions={"main": 0},
+    )
+    for budget in range(1, 6):
+        pcs = []
+        for backend in BACKENDS:
+            cpu = _fresh(program, backend).cpu
+            stop = cpu.run(budget)
+            pcs.append((stop, cpu.pc, cpu.instret, cpu.iregs[3]))
+        assert pcs[0] == pcs[1], f"budget={budget}"
+
+
+def test_lockstep_random_budgets_demo(demo_program):
+    """Pause both backends at random points; every pause must agree on the
+    complete architectural state."""
+    rng = random.Random(20260806)
+    a = _fresh(demo_program, "interpreter").cpu
+    b = _fresh(demo_program, "compiled").cpu
+    while not a.halted:
+        k = rng.choice([1, 1, 2, 3, 5, 8, 13, 50])
+        ra, rb = a.run(k), b.run(k)
+        assert ra == rb
+        assert (a.pc, a.instret) == (b.pc, b.instret)
+        assert a.iregs == b.iregs
+        assert a.fregs == b.fregs
+    assert a.output == b.output
+    assert a.exit_code == b.exit_code
+    assert a.memory.written_cells() == b.memory.written_cells()
+
+
+# -- app-level: golden runs --------------------------------------------------
+
+
+@pytest.mark.parametrize("name", APP_NAMES)
+def test_golden_run_bit_identical(suite, name):
+    app = suite[name]
+    facts = []
+    for backend in BACKENDS:
+        process = app.load(backend)
+        result = process.run(app.max_steps)
+        facts.append(
+            (
+                result.reason,
+                process.cpu.instret,
+                process.cpu.pc,
+                process.exit_code,
+                tuple(process.output),
+            )
+        )
+    assert facts[0] == facts[1]
+    # and both agree with the cached golden facts
+    assert facts[0][1] == app.golden.instret
+    assert facts[0][4] == app.golden.output
+
+
+# -- app-level: seeded injection sample --------------------------------------
+
+#: Injections per (app, config) pair.  Small but seeded: dyn_index spreads
+#: across the run, bit positions across the word, so crash/benign/SDC and
+#: repair paths all appear across the suite.
+N_PLANS = 5
+
+
+def _result_facts(result):
+    return (
+        result.outcome,
+        result.target_pc,
+        result.target_reg,
+        result.first_signal,
+        result.interventions,
+        result.steps,
+        result.timed_out,
+    )
+
+
+@pytest.mark.parametrize("name", APP_NAMES)
+@pytest.mark.parametrize("config_name", [None, "LetGo-E"])
+def test_injection_outcomes_bit_identical(suite, name, config_name):
+    app = suite[name]
+    config = VARIANTS[config_name] if config_name else None
+    rng = np.random.default_rng(0xD1FF + len(name))
+    plans = plan_injections(rng, app.golden.instret, N_PLANS)
+    for plan in plans:
+        facts = [
+            _result_facts(run_injection(app, plan, config, backend=backend))
+            for backend in BACKENDS
+        ]
+        assert facts[0] == facts[1], (name, config_name, plan)

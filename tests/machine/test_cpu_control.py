@@ -163,3 +163,15 @@ def test_cannot_run_terminated_process():
     p.run(10)
     with pytest.raises(Exception):
         p.run(10)
+
+
+def test_halt_leaves_pc_on_halt_site():
+    """Regression: HALT used to advance pc past the image, so state
+    captured at the halt fetch-faulted on resume instead of re-reporting
+    a clean halt."""
+    p = make_process([Instr(Op.NOP), Instr(Op.HALT)])
+    result = p.run(10)
+    assert result.reason == "exited"
+    assert p.cpu.halted
+    assert p.cpu.pc == 1
+    assert p.program.instrs[p.cpu.pc].op is Op.HALT

@@ -118,3 +118,35 @@ def test_fmov_fmovi():
     cpu = make_cpu([Instr(Op.FMOVI, rd=1, imm=2.5), Instr(Op.FMOV, rd=2, ra=1)])
     cpu.run(2)
     assert cpu.fregs[1] == 2.5 and cpu.fregs[2] == 2.5
+
+
+def test_fmin_fmax_nan_loses_to_number():
+    """Regression: IEEE-754 minNum/maxNum -- the non-NaN operand wins.
+
+    The old `a if a < b else b` returned the NaN whenever b was NaN
+    (any comparison with NaN is False), which corrupted SDC
+    classification after exponent-bit flips.  See FAULT_MODEL.md.
+    """
+    assert run_fop(Op.FMIN, math.nan, 2.0) == 2.0
+    assert run_fop(Op.FMIN, 2.0, math.nan) == 2.0
+    assert run_fop(Op.FMAX, math.nan, -3.0) == -3.0
+    assert run_fop(Op.FMAX, -3.0, math.nan) == -3.0
+    assert math.isnan(run_fop(Op.FMIN, math.nan, math.nan))
+    assert math.isnan(run_fop(Op.FMAX, math.nan, math.nan))
+
+
+def test_fmin_fmax_nan_semantics_backend_invariant():
+    from repro.machine import CompiledCPU, Memory
+    from repro.isa import Program
+
+    for cls in (CPU, CompiledCPU):
+        for op, expected in ((Op.FMIN, 2.0), (Op.FMAX, 2.0)):
+            program = Program(
+                instrs=[Instr(op, rd=3, ra=1, rb=2), Instr(Op.HALT)],
+                functions={"main": 0},
+            )
+            cpu = cls(program, Memory())
+            cpu.fregs[1] = math.nan
+            cpu.fregs[2] = 2.0
+            cpu.run(1)
+            assert cpu.fregs[3] == expected, cls.__name__

@@ -140,3 +140,20 @@ def test_flip_twice_is_identity(value, bit):
     pattern = int_to_pattern(value)
     flipped = pattern ^ (1 << bit)
     assert pattern_to_int(flipped ^ (1 << bit)) == value
+
+
+def test_unmapped_and_misaligned_is_segv(mem):
+    """Regression: mapping is checked before alignment.
+
+    Real hardware walks the page tables before it complains about
+    alignment, so an access that is both unmapped *and* misaligned must
+    report SIGSEGV, not SIGBUS (this used to skew the Table-1 signal
+    distribution).
+    """
+    for address in (0x3001, 0x2FFF, 0x7FF9, -3):
+        with pytest.raises(AccessError) as info:
+            mem.read_pattern(address)
+        assert info.value.kind == "segv", hex(address)
+        with pytest.raises(AccessError) as info:
+            mem.write_pattern(address, 1)
+        assert info.value.kind == "segv", hex(address)
