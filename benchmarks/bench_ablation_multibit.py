@@ -30,7 +30,7 @@ def build_table():
         rng = np.random.default_rng(SEED)
         plans = plan_injections(rng, app.golden.instret, N, n_bits=n_bits)
         campaign = run_campaign(
-            app, N, seed=SEED, config=LETGO_E, keep_results=False, plans=plans
+            app, N, seed=SEED, config=LETGO_E, plans=plans
         )
         m = campaign.metrics()
         series[n_bits] = campaign

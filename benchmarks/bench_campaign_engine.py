@@ -18,7 +18,7 @@ import os
 import time
 
 from repro.core import LETGO_E
-from repro.faultinject import NO_LADDER, CampaignEngine
+from repro.faultinject import NO_LADDER, CampaignConfig, CampaignEngine
 
 from conftest import write_artifact
 
@@ -44,10 +44,11 @@ def test_campaign_engine_speedup(apps):
         return elapsed
 
     t_naive = measure(
-        "naive", CampaignEngine(jobs=1, ladder_interval=NO_LADDER)
+        "naive",
+        CampaignEngine(config=CampaignConfig(jobs=1, ladder_interval=NO_LADDER)),
     )
-    t_ladder = measure("ladder", CampaignEngine(jobs=1))
-    t_engine = measure("engine", CampaignEngine(jobs=JOBS))
+    t_ladder = measure("ladder", CampaignEngine(config=CampaignConfig(jobs=1)))
+    t_engine = measure("engine", CampaignEngine(config=CampaignConfig(jobs=JOBS)))
 
     assert counts["ladder"] == counts["naive"]
     assert counts["engine"] == counts["naive"]

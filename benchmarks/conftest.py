@@ -19,7 +19,7 @@ import pytest
 
 from repro.apps import app_names, make_app
 from repro.core import LETGO_B, LETGO_E
-from repro.faultinject import run_paired_campaigns
+from repro.faultinject import CampaignConfig, run_paired_campaigns
 
 #: Injections per (app, config); see module docstring.
 BENCH_N = int(os.environ.get("REPRO_BENCH_N", "150"))
@@ -58,7 +58,8 @@ def iterative_campaigns(apps):
     results = {}
     for name in app_names(iterative_only=True):
         results[name] = run_paired_campaigns(
-            apps[name], BENCH_N, SEED, configs=[LETGO_B, LETGO_E], jobs=None
+            apps[name], BENCH_N, SEED, configs=[LETGO_B, LETGO_E],
+            campaign=CampaignConfig(jobs=None)
         )
     return results
 
@@ -67,5 +68,6 @@ def iterative_campaigns(apps):
 def hpl_campaign(apps):
     """LetGo-E campaign on the direct-method app (paper section 8)."""
     return run_paired_campaigns(
-        apps["hpl"], BENCH_N, SEED, configs=[LETGO_B, LETGO_E], jobs=None
+        apps["hpl"], BENCH_N, SEED, configs=[LETGO_B, LETGO_E],
+        campaign=CampaignConfig(jobs=None)
     )

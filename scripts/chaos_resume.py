@@ -26,7 +26,12 @@ from pathlib import Path
 
 from repro.apps import make_app
 from repro.errors import CampaignAbortedError
-from repro.faultinject import CampaignEngine, CampaignJournal, run_injection
+from repro.faultinject import (
+    CampaignConfig,
+    CampaignEngine,
+    CampaignJournal,
+    run_injection,
+)
 from repro.faultinject import engine as engine_mod
 
 N = 10
@@ -56,7 +61,9 @@ def main() -> int:
     app = make_app(APP)
     app.golden  # profile once in the parent so workers inherit the cache
     print(f"[chaos] reference: serial campaign, n={N} seed={SEED}")
-    reference = CampaignEngine(jobs=1, keep_results=True).run(app, N, SEED)
+    reference = CampaignEngine(
+        config=CampaignConfig(jobs=1, keep_results=True)
+    ).run(app, N, SEED)
 
     from repro.faultinject import plan_injections
     import numpy as np
@@ -68,12 +75,14 @@ def main() -> int:
 
     journal_path = Path(tempfile.mkdtemp(prefix="chaos-resume-")) / "c.journal"
     crashy = CampaignEngine(
-        jobs=2,
-        shard_size=1,
-        keep_results=True,
-        retry_backoff=0.0,
-        max_pool_rebuilds=0,
-        serial_fallback=False,
+        config=CampaignConfig(
+            jobs=2,
+            shard_size=1,
+            keep_results=True,
+            retry_backoff=0.0,
+            max_pool_rebuilds=0,
+            serial_fallback=False,
+        )
     )
     print("[chaos] launching campaign with a SIGKILL booby-trap...")
     try:
@@ -94,7 +103,9 @@ def main() -> int:
         return 1
 
     print(f"[chaos] resuming from {journal_path}")
-    resumed_engine = CampaignEngine(jobs=2, keep_results=True)
+    resumed_engine = CampaignEngine(
+        config=CampaignConfig(jobs=2, keep_results=True)
+    )
     resumed = resumed_engine.run(app, N, SEED, resume=journal_path)
     print(
         f"[chaos] resumed={resumed_engine.stats.resumed} "

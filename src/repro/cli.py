@@ -32,7 +32,14 @@ from repro.apps import app_names, make_app
 from repro.core import VARIANTS
 from repro.crsim import PAPER_APP_PARAMS, SystemParams, YEAR, compare_efficiency
 from repro.crsim.params import AppParams
-from repro.faultinject import InjectionPlan, run_campaign, run_injection
+from repro.faultinject import (
+    CampaignConfig,
+    InjectionPlan,
+    add_campaign_arguments,
+    campaign_config_from_args,
+    run_campaign,
+    run_injection,
+)
 from repro.reporting import ascii_table, pct, pct_ci
 
 
@@ -109,31 +116,31 @@ def _cmd_inject(args: argparse.Namespace) -> int:
     return 0
 
 
+def _progress_line(done: int, total: int) -> None:
+    print(
+        f"\rcampaign: {done}/{total} injections", end="", file=sys.stderr,
+        flush=True,
+    )
+
+
 def _cmd_campaign(args: argparse.Namespace) -> int:
     from repro.errors import CampaignAbortedError, JournalError
     from repro.faultinject import CampaignEngine
 
     app = make_app(args.app)
     config = _variant(args.letgo)
-    engine = CampaignEngine(
-        jobs=args.jobs,
-        ladder_interval=args.ladder_interval,
-        keep_results=False,
-        max_retries=args.max_retries,
-        wall_clock_limit=args.wall_clock_limit,
-        shard_size=args.shard_size,
-        backend=args.backend,
-    )
-    journal_path = args.journal or args.resume
+    cfg = campaign_config_from_args(args)
+    engine = CampaignEngine(config=cfg)
+    live = sys.stderr.isatty()
+    if live:
+        engine.on_progress = _progress_line
+    journal_path = cfg.journal or cfg.resume
     try:
-        campaign = engine.run(
-            app,
-            args.n,
-            seed=args.seed,
-            config=config,
-            journal=args.journal,
-            resume=args.resume,
-        )
+        try:
+            campaign = engine.run(app, args.n, seed=args.seed, config=config)
+        finally:
+            if live:
+                print("\r\x1b[K", end="", file=sys.stderr, flush=True)
     except KeyboardInterrupt:
         # Every completed shard was journaled durably before it counted,
         # so there is nothing left to flush -- just say where to pick up.
@@ -175,6 +182,13 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     print(f"overall SDC rate  : {pct_ci(campaign.sdc_rate().value, campaign.sdc_rate().half_width)}")
     if engine.stats is not None:
         print(f"engine            : {engine.stats.describe()}")
+    if engine.telemetry is not None:
+        print()
+        print(engine.telemetry.render(title=f"telemetry: {app.name}"))
+        if cfg.trace is not None:
+            print(f"trace written to {cfg.trace}")
+        if cfg.chrome_trace is not None:
+            print(f"chrome trace written to {cfg.chrome_trace}")
     return 0
 
 
@@ -185,7 +199,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     else:
         app = make_app(args.app)
         campaign = run_campaign(
-            app, args.n, seed=args.seed, config=VARIANTS["LetGo-E"], keep_results=False
+            app, args.n, seed=args.seed, config=VARIANTS["LetGo-E"]
         )
         params = AppParams(
             name=app.name,
@@ -214,7 +228,8 @@ def _cmd_sites(args: argparse.Namespace) -> int:
 
     app = make_app(args.app)
     campaign = run_campaign(
-        app, args.n, seed=args.seed, config=VARIANTS["LetGo-E"], keep_results=True
+        app, args.n, seed=args.seed, config=VARIANTS["LetGo-E"],
+        campaign=CampaignConfig(keep_results=True),
     )
     print(analyze_sites(app, campaign).render())
     return 0
@@ -280,13 +295,6 @@ def _add_backend_arg(p: argparse.ArgumentParser) -> None:
     )
 
 
-def _ladder_interval(text: str) -> int:
-    value = int(text)
-    if value < 0:
-        raise argparse.ArgumentTypeError("must be >= 0 (0 disables the ladder)")
-    return value
-
-
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="LetGo (HPDC'17) reproduction toolkit"
@@ -315,35 +323,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-n", type=int, default=100)
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--letgo", choices=sorted(VARIANTS), default="LetGo-E")
-    p.add_argument("--jobs", type=int, default=None, metavar="J",
-                   help="worker processes (default: all cores; results are "
-                        "identical to --jobs 1 for the same seed)")
-    p.add_argument("--ladder-interval", type=_ladder_interval, default=None,
-                   metavar="K",
-                   help="snapshot-ladder rung spacing in retired "
-                        "instructions (default: auto; 0 disables the ladder)")
-    durability = p.add_mutually_exclusive_group()
-    durability.add_argument("--journal", metavar="PATH", default=None,
-                            help="write-ahead journal: every completed shard "
-                                 "is recorded durably, so an interrupted "
-                                 "campaign can be resumed with --resume")
-    durability.add_argument("--resume", metavar="PATH", default=None,
-                            help="resume from an existing journal: skips "
-                                 "already-completed plans and appends new "
-                                 "shards; the merged result is identical to "
-                                 "an uninterrupted run")
-    p.add_argument("--max-retries", type=int, default=2, metavar="R",
-                   help="re-executions of a failing shard before it is "
-                        "bisected down to the poison plan (default: 2)")
-    p.add_argument("--wall-clock-limit", type=float, default=None,
-                   metavar="SECONDS",
-                   help="per-injection wall-clock watchdog: a run exceeding "
-                        "this real-time budget classifies as HANG "
-                        "(default: off)")
-    p.add_argument("--shard-size", type=int, default=None, metavar="P",
-                   help="plans per shard (default: one shard per worker, "
-                        "finer when journaling)")
-    _add_backend_arg(p)
+    # Every execution/resilience/observability flag is derived from the
+    # CampaignConfig fields, so config and CLI cannot drift apart.
+    add_campaign_arguments(p)
 
     p = sub.add_parser("simulate", help="C/R efficiency with vs without LetGo")
     p.add_argument("--app", required=True, choices=list(PAPER_APP_PARAMS))

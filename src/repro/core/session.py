@@ -22,6 +22,7 @@ from repro.core.monitor import Monitor
 from repro.machine.debugger import STOP_BUDGET, STOP_EXITED, STOP_TRAP
 from repro.machine.process import Process
 from repro.machine.signals import Signal
+from repro.telemetry.tracer import NULL_TRACER
 
 #: Final status values of a LetGo-supervised run.
 COMPLETED = "completed"      # program halted cleanly
@@ -79,6 +80,7 @@ class LetGoSession:
         max_steps: int,
         *,
         deadline: float | None = None,
+        tracer=None,
     ) -> LetGoRunReport:
         """Run *process* under LetGo until exit, death, budget, or deadline.
 
@@ -90,7 +92,12 @@ class LetGoSession:
         is checked between chunks; expiry reports ``HUNG`` with
         ``timed_out=True``.  ``None`` (the default) keeps runs fully
         deterministic.
+
+        ``tracer`` (a :class:`repro.telemetry.Tracer`) records per-repair
+        spans plus signal-disposition and heuristic-firing counters; the
+        default null tracer costs nothing and never alters control flow.
         """
+        tracer = tracer if tracer is not None else NULL_TRACER
         session = self.monitor.attach(process)
         interventions: list[InterventionRecord] = []
         remaining = max_steps
@@ -131,8 +138,13 @@ class LetGoSession:
                 )
             assert event.kind == STOP_TRAP and event.trap is not None
             trap = event.trap
+            intercepted = self.monitor.intercepts(trap.signal)
+            tracer.count(
+                f"signal:{trap.signal.name}:"
+                + ("intercept" if intercepted else "default")
+            )
             can_repair = (
-                self.monitor.intercepts(trap.signal)
+                intercepted
                 and len(interventions) < self.config.max_interventions
                 and remaining > 0
             )
@@ -145,7 +157,14 @@ class LetGoSession:
                     final_signal=trap.signal,
                     output=list(process.output),
                 )
-            interventions.append(self.modifier.repair(session, trap))
+            with tracer.span("repair"):
+                record = self.modifier.repair(session, trap)
+            interventions.append(record)
+            tracer.count("intervention")
+            if record.h1_fired:
+                tracer.count("heuristic:H1")
+            if record.h2_fired:
+                tracer.count("heuristic:H2")
 
 
 def run_under_letgo(

@@ -6,7 +6,10 @@ aggregation, and the Eq. 1-4 effectiveness metrics.
 """
 
 from repro.faultinject.campaign import (
+    CampaignConfig,
     CampaignResult,
+    add_campaign_arguments,
+    campaign_config_from_args,
     run_campaign,
     run_paired_campaigns,
 )
@@ -65,7 +68,10 @@ __all__ = [
     "flip_bit",
     "InjectionResult",
     "run_injection",
+    "CampaignConfig",
     "CampaignResult",
+    "add_campaign_arguments",
+    "campaign_config_from_args",
     "run_campaign",
     "run_paired_campaigns",
     "CampaignEngine",

@@ -10,7 +10,9 @@ is what makes the Figure-5 B-vs-E comparison tight at moderate N.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import argparse
+import warnings
+from dataclasses import dataclass, field, fields, replace
 from typing import Sequence
 
 import numpy as np
@@ -157,16 +159,297 @@ class CampaignResult:
         return self.metrics().continuability.value
 
 
+# -- the unified campaign configuration --------------------------------------
+
+
+class _Unset:
+    """Sentinel distinguishing 'not passed' from an explicit None."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "<unset>"
+
+
+_UNSET = _Unset()
+
+
+def _nonnegative_int(text: str) -> int:
+    value = int(text)
+    if value < 0:
+        raise argparse.ArgumentTypeError("must be >= 0")
+    return value
+
+
+def _knob(
+    default,
+    help: str,
+    *,
+    kind: str = "str",
+    metavar: str | None = None,
+    choices: str | None = None,
+    cli_default=_UNSET,
+    group: str | None = None,
+):
+    """A :class:`CampaignConfig` field whose metadata drives CLI flag
+    generation (see :func:`add_campaign_arguments`)."""
+    meta = {"help": help, "kind": kind}
+    if metavar is not None:
+        meta["metavar"] = metavar
+    if choices is not None:
+        meta["choices"] = choices
+    if cli_default is not _UNSET:
+        meta["cli_default"] = cli_default
+    if group is not None:
+        meta["group"] = group
+    return field(default=default, metadata=meta)
+
+
+@dataclass(frozen=True)
+class CampaignConfig:
+    """Every execution / resilience / observability knob of a campaign.
+
+    One frozen value object replaces the kwarg soup previously spread
+    across :class:`~repro.faultinject.engine.CampaignEngine`,
+    :func:`run_campaign`, :func:`run_paired_campaigns` and the CLI.  None
+    of these knobs changes campaign *outcomes* (``wall_clock_limit`` is
+    the documented safety-valve exception); they change how fast the
+    result arrives, what it survives, and what gets observed on the way.
+
+    Each field's metadata (help text, flag type, default) is the single
+    source of truth the CLI derives its ``campaign`` flags from, so
+    config and command line cannot drift apart (a parity test pins this).
+    """
+
+    # -- execution --------------------------------------------------------
+    jobs: int | None = _knob(
+        1,
+        "worker processes (default: all cores; results are identical "
+        "to --jobs 1 for the same seed)",
+        kind="int",
+        metavar="J",
+        cli_default=None,
+    )
+    ladder_interval: int | None = _knob(
+        None,
+        "snapshot-ladder rung spacing in retired instructions "
+        "(default: auto; 0 disables the ladder)",
+        kind="ladder",
+        metavar="K",
+    )
+    shard_size: int | None = _knob(
+        None,
+        "plans per shard (default: one shard per worker, finer when "
+        "journaling)",
+        kind="int",
+        metavar="P",
+    )
+    backend: str | None = _knob(
+        None,
+        "execution engine (default: compiled, or $REPRO_BACKEND); "
+        "outcomes are backend-invariant",
+        choices="backends",
+    )
+    keep_results: bool = _knob(
+        False,
+        "retain per-run InjectionResult records on the campaign "
+        "(memory-unsafe at large N)",
+        kind="bool",
+    )
+    # -- resilience -------------------------------------------------------
+    max_retries: int = _knob(
+        2,
+        "re-executions of a failing shard before it is bisected down "
+        "to the poison plan (default: 2)",
+        kind="int",
+        metavar="R",
+    )
+    retry_backoff: float = _knob(
+        0.1,
+        "exponential backoff seconds between shard retries "
+        "(0 disables sleeping)",
+        kind="float",
+        metavar="SECONDS",
+    )
+    retry_backoff_cap: float = _knob(
+        2.0,
+        "upper bound on the retry backoff (seconds)",
+        kind="float",
+        metavar="SECONDS",
+    )
+    max_pool_rebuilds: int = _knob(
+        2,
+        "broken process pools replaced before degrading to in-process "
+        "serial execution",
+        kind="int",
+        metavar="N",
+    )
+    serial_fallback: bool = _knob(
+        True,
+        "finish in-process when the worker pool keeps breaking "
+        "(--no-serial-fallback aborts instead)",
+        kind="bool",
+    )
+    wall_clock_limit: float | None = _knob(
+        None,
+        "per-injection wall-clock watchdog: a run exceeding this "
+        "real-time budget classifies as HANG (default: off)",
+        kind="float",
+        metavar="SECONDS",
+    )
+    # -- durability -------------------------------------------------------
+    journal: str | None = _knob(
+        None,
+        "write-ahead journal: every completed shard is recorded durably, "
+        "so an interrupted campaign can be resumed with --resume",
+        metavar="PATH",
+        group="durability",
+    )
+    resume: str | None = _knob(
+        None,
+        "resume from an existing journal: skips already-completed plans "
+        "and appends new shards; the merged result is identical to an "
+        "uninterrupted run",
+        metavar="PATH",
+        group="durability",
+    )
+    # -- observability ----------------------------------------------------
+    telemetry: bool = _knob(
+        False,
+        "record structured telemetry (phase spans + counters) and print "
+        "the end-of-campaign breakdown",
+        kind="bool",
+    )
+    trace: str | None = _knob(
+        None,
+        "write the merged event stream as a JSON-lines trace file "
+        "(implies telemetry)",
+        metavar="PATH",
+    )
+    chrome_trace: str | None = _knob(
+        None,
+        "write a chrome://tracing / Perfetto trace_event view "
+        "(implies telemetry)",
+        metavar="PATH",
+    )
+    probe_interval: int = _knob(
+        0,
+        "emit a progress probe every N retired instructions of golden-"
+        "prefix replay (0: off; implies telemetry)",
+        kind="probe",
+        metavar="N",
+    )
+
+    def __post_init__(self) -> None:
+        if self.shard_size is not None and self.shard_size < 1:
+            raise ValueError("shard_size must be >= 1")
+        if self.probe_interval < 0:
+            raise ValueError("probe_interval must be >= 0")
+        if self.journal is not None and self.resume is not None:
+            raise ValueError(
+                "pass either journal= (fresh) or resume= (existing), not both"
+            )
+
+    @property
+    def telemetry_enabled(self) -> bool:
+        """True when any observability output was requested."""
+        return (
+            self.telemetry
+            or self.trace is not None
+            or self.chrome_trace is not None
+            or self.probe_interval > 0
+        )
+
+
+def _with_legacy(
+    campaign: CampaignConfig | None, caller: str, **overrides
+) -> CampaignConfig:
+    """Fold deprecated per-knob kwargs into a :class:`CampaignConfig`.
+
+    Explicitly passed legacy kwargs (anything not ``_UNSET``) win over
+    the supplied config and emit one :class:`DeprecationWarning` naming
+    the replacement, so old call sites keep working verbatim while new
+    code converges on the config object.
+    """
+    supplied = {
+        name: value for name, value in overrides.items() if value is not _UNSET
+    }
+    base = campaign if campaign is not None else CampaignConfig()
+    if not supplied:
+        return base
+    warnings.warn(
+        f"{caller}: pass config=CampaignConfig(...) instead of the "
+        f"deprecated keyword(s) {sorted(supplied)}",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+    return replace(base, **supplied)
+
+
+#: argparse flag types, keyed by field-metadata ``kind``.
+_FLAG_TYPES = {
+    "int": int,
+    "float": float,
+    "str": str,
+    "ladder": _nonnegative_int,
+    "probe": _nonnegative_int,
+}
+
+
+def add_campaign_arguments(parser: argparse.ArgumentParser) -> None:
+    """Derive one CLI flag per :class:`CampaignConfig` field.
+
+    Flag name, type, default and help text all come from the field and
+    its metadata; fields sharing a metadata ``group`` become mutually
+    exclusive (journal vs resume).  Bool fields get paired
+    ``--flag/--no-flag`` switches.
+    """
+    groups: dict[str, argparse._MutuallyExclusiveGroup] = {}
+    for spec in fields(CampaignConfig):
+        meta = spec.metadata
+        flag = "--" + spec.name.replace("_", "-")
+        target: argparse._ActionsContainer = parser
+        group = meta.get("group")
+        if group is not None:
+            if group not in groups:
+                groups[group] = parser.add_mutually_exclusive_group()
+            target = groups[group]
+        kwargs: dict = {
+            "dest": spec.name,
+            "default": meta.get("cli_default", spec.default),
+            "help": meta["help"],
+        }
+        if meta["kind"] == "bool":
+            kwargs["action"] = argparse.BooleanOptionalAction
+        else:
+            kwargs["type"] = _FLAG_TYPES[meta["kind"]]
+            if "metavar" in meta:
+                kwargs["metavar"] = meta["metavar"]
+            if meta.get("choices") == "backends":
+                from repro.machine.compiled import BACKENDS
+
+                kwargs["choices"] = sorted(BACKENDS)
+        target.add_argument(flag, **kwargs)
+
+
+def campaign_config_from_args(args: argparse.Namespace) -> CampaignConfig:
+    """The :class:`CampaignConfig` a parsed command line describes."""
+    return CampaignConfig(
+        **{spec.name: getattr(args, spec.name) for spec in fields(CampaignConfig)}
+    )
+
+
 def run_campaign(
     app: MiniApp,
     n: int,
     seed: int,
     config: LetGoConfig | None = None,
-    keep_results: bool = False,
+    keep_results: bool | _Unset = _UNSET,
     plans: list[InjectionPlan] | None = None,
     *,
-    jobs: int | None = 1,
-    ladder_interval: int | None = None,
+    jobs: int | None | _Unset = _UNSET,
+    ladder_interval: int | None | _Unset = _UNSET,
+    campaign: CampaignConfig | None = None,
 ) -> CampaignResult:
     """Run *n* injections on *app* under *config* (None = baseline).
 
@@ -181,12 +464,21 @@ def run_campaign(
     ``keep_results`` retains the per-run :class:`InjectionResult` records;
     it defaults to False because at large N the accumulation is unbounded
     (matching :func:`run_paired_campaigns`).
+
+    ``campaign`` supplies the full :class:`CampaignConfig`; the loose
+    ``keep_results`` / ``jobs`` / ``ladder_interval`` kwargs are the
+    deprecated pre-config spelling and override it when passed.
     """
     from repro.faultinject.engine import CampaignEngine
 
-    engine = CampaignEngine(
-        jobs=jobs, ladder_interval=ladder_interval, keep_results=keep_results
+    cfg = _with_legacy(
+        campaign,
+        "run_campaign",
+        keep_results=keep_results,
+        jobs=jobs,
+        ladder_interval=ladder_interval,
     )
+    engine = CampaignEngine(config=cfg)
     return engine.run(app, n, seed, config, plans=plans)
 
 
@@ -195,32 +487,41 @@ def run_paired_campaigns(
     n: int,
     seed: int,
     configs: list[LetGoConfig | None],
-    keep_results: bool = False,
+    keep_results: bool | _Unset = _UNSET,
     *,
-    jobs: int | None = 1,
-    ladder_interval: int | None = None,
+    jobs: int | None | _Unset = _UNSET,
+    ladder_interval: int | None | _Unset = _UNSET,
+    campaign: CampaignConfig | None = None,
 ) -> dict[str, CampaignResult]:
     """Run the same fault population under several configurations.
 
-    Returns config-name -> result ("baseline" for None).  ``jobs`` and
-    ``ladder_interval`` pass through to :func:`run_campaign`.
+    Returns config-name -> result ("baseline" for None).  ``campaign``
+    (a :class:`CampaignConfig`) passes through to :func:`run_campaign`;
+    the loose kwargs are the deprecated spelling.
     """
+    cfg = _with_legacy(
+        campaign,
+        "run_paired_campaigns",
+        keep_results=keep_results,
+        jobs=jobs,
+        ladder_interval=ladder_interval,
+    )
     rng = np.random.default_rng(seed)
     plans = plan_injections(rng, app.golden.instret, n)
     out: dict[str, CampaignResult] = {}
     for config in configs:
         name = config.name if config is not None else "baseline"
         out[name] = run_campaign(
-            app,
-            n,
-            seed,
-            config,
-            keep_results=keep_results,
-            plans=plans,
-            jobs=jobs,
-            ladder_interval=ladder_interval,
+            app, n, seed, config, plans=plans, campaign=cfg
         )
     return out
 
 
-__all__ = ["CampaignResult", "run_campaign", "run_paired_campaigns"]
+__all__ = [
+    "CampaignResult",
+    "CampaignConfig",
+    "add_campaign_arguments",
+    "campaign_config_from_args",
+    "run_campaign",
+    "run_paired_campaigns",
+]

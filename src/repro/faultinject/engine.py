@@ -62,11 +62,19 @@ from repro.apps.base import MiniApp
 from repro.checkpoint.snapshot import SnapshotLadder, restore, restore_into, snapshot
 from repro.core.config import LetGoConfig
 from repro.errors import CampaignAbortedError
-from repro.faultinject.campaign import CampaignResult
+from repro.faultinject.campaign import (
+    _UNSET,
+    CampaignConfig,
+    CampaignResult,
+    _Unset,
+    _with_legacy,
+)
 from repro.faultinject.fault_model import InjectionPlan, plan_injections
 from repro.faultinject.injector import InjectionResult, run_injection
 from repro.faultinject.journal import CampaignJournal, JournalHeader
 from repro.machine.debugger import DebugSession
+from repro.telemetry import NULL_TRACER, TelemetryReport, Tracer
+from repro.telemetry.export import write_chrome_trace, write_jsonl
 
 #: ``ladder_interval`` value that disables the ladder entirely.
 NO_LADDER = 0
@@ -178,7 +186,11 @@ def _run_shard(
     batch: list[tuple[int, InjectionPlan]],
     wall_clock_limit: float | None = None,
     backend: str | None = None,
-) -> tuple[list[tuple[int, InjectionResult]], tuple[int, int, int, float]]:
+    telemetry: bool = False,
+    probe_interval: int = 0,
+) -> tuple[
+    list[tuple[int, InjectionResult]], tuple[int, int, int, float], dict | None
+]:
     """Run one shard of (index, plan) pairs.
 
     Plans execute in injection-depth order (ladder/cache locality) but the
@@ -191,32 +203,51 @@ def _run_shard(
     same process, so segment mapping, CPU construction and -- on the
     compiled backend -- closure-table compilation are paid once per shard
     rather than once per injection.
+
+    With ``telemetry`` a leaf :class:`~repro.telemetry.Tracer` records the
+    shard's phase spans and counters; its picklable export is the third
+    return element (None when disabled), absorbed by the supervisor.  The
+    leaf is created here -- identically for in-process and pooled shards
+    -- so the merged stream is independent of *where* the shard ran.
     """
     t0 = perf_counter()
+    if telemetry:
+        tracer = Tracer(
+            tid=f"shard-{min(idx for idx, _ in batch):05d}",
+            probe_interval=probe_interval,
+        )
+        tracer.instant("worker-start", pid=os.getpid(), plans=len(batch))
+    else:
+        tracer = NULL_TRACER
     restored = cold = fast_forward = 0
     out: dict[int, InjectionResult] = {}
-    host = app.load(backend)
-    pristine = snapshot(host)
-    for idx, plan in sorted(batch, key=lambda pair: pair[1].dyn_index):
-        target = plan.dyn_index - 1
-        snap = ladder.nearest(target) if ladder is not None else None
-        if snap is None:
-            restore_into(host, pristine)
-            cold += 1
-            fast_forward += target
-        else:
-            restore_into(host, snap)
-            restored += 1
-            fast_forward += target - snap.instret
-        out[idx] = run_injection(
-            app,
-            plan,
-            config,
-            session=DebugSession(host),
-            wall_clock_limit=wall_clock_limit,
-        )
+    with tracer.span("shard"):
+        host = app.load(backend)
+        pristine = snapshot(host)
+        for idx, plan in sorted(batch, key=lambda pair: pair[1].dyn_index):
+            target = plan.dyn_index - 1
+            snap = ladder.nearest(target) if ladder is not None else None
+            with tracer.span("restore"):
+                restore_into(host, pristine if snap is None else snap)
+            if snap is None:
+                cold += 1
+                fast_forward += target
+                tracer.count("cold-start")
+            else:
+                restored += 1
+                fast_forward += target - snap.instret
+                tracer.count("restore")
+            out[idx] = run_injection(
+                app,
+                plan,
+                config,
+                session=DebugSession(host),
+                wall_clock_limit=wall_clock_limit,
+                tracer=tracer,
+            )
     pairs = [(idx, out[idx]) for idx in sorted(out)]
-    return pairs, (restored, cold, fast_forward, perf_counter() - t0)
+    payload = tracer.export() if telemetry else None
+    return pairs, (restored, cold, fast_forward, perf_counter() - t0), payload
 
 
 # -- worker protocol --------------------------------------------------------
@@ -271,6 +302,8 @@ def _worker_init(
     config: LetGoConfig | None,
     wall_clock_limit: float | None = None,
     backend: str | None = None,
+    telemetry: bool = False,
+    probe_interval: int = 0,
 ) -> None:
     app = _app_from_spec(spec)
     _WORKER["app"] = app
@@ -278,6 +311,8 @@ def _worker_init(
     _WORKER["config"] = config
     _WORKER["wall_clock_limit"] = wall_clock_limit
     _WORKER["backend"] = backend
+    _WORKER["telemetry"] = telemetry
+    _WORKER["probe_interval"] = probe_interval
 
 
 def _worker_run(batch: list[tuple[int, InjectionPlan]]):
@@ -288,6 +323,8 @@ def _worker_run(batch: list[tuple[int, InjectionPlan]]):
         batch,
         _WORKER.get("wall_clock_limit"),
         _WORKER.get("backend"),
+        _WORKER.get("telemetry", False),
+        _WORKER.get("probe_interval", 0),
     )
 
 
@@ -337,6 +374,11 @@ class _Supervisor:
     pool_rebuilds: int = 0
     degraded: bool = False
     timeouts: int = 0
+    tracer: object = NULL_TRACER      # parent-side merged event stream
+    telemetry: bool = False           # shards create leaf tracers
+    probe_interval: int = 0
+    total: int = 0                    # campaign n, for progress reporting
+    done_base: int = 0                # plans settled before this invocation
 
     def run(self, shards: list[list[tuple[int, InjectionPlan]]]) -> None:
         self.queue: deque = deque(shard for shard in shards if shard)
@@ -349,20 +391,23 @@ class _Supervisor:
 
     def _run_serial(self) -> None:
         while self.queue:
+            self.tracer.gauge("queue-depth", len(self.queue))
             shard = self.queue.popleft()
             try:
-                pairs, stat = _run_shard(
+                pairs, stat, payload = _run_shard(
                     self.app,
                     self.ladder,
                     self.config,
                     shard,
                     self.engine.wall_clock_limit,
                     self.engine.backend,
+                    self.telemetry,
+                    self.probe_interval,
                 )
             except Exception as exc:
                 self._failure(shard, exc)
             else:
-                self._commit(pairs, stat)
+                self._commit(pairs, stat, payload)
 
     # -- pool --------------------------------------------------------------
 
@@ -380,6 +425,8 @@ class _Supervisor:
                     self.config,
                     self.engine.wall_clock_limit,
                     self.engine.backend,
+                    self.telemetry,
+                    self.probe_interval,
                 ),
             )
         except Exception:
@@ -392,6 +439,7 @@ class _Supervisor:
             return
         try:
             while self.queue:
+                self.tracer.gauge("queue-depth", len(self.queue))
                 batch = list(self.queue)
                 self.queue.clear()
                 futures = {}
@@ -408,17 +456,19 @@ class _Supervisor:
                 for future in as_completed(futures):
                     shard = futures[future]
                     try:
-                        pairs, stat = future.result()
+                        pairs, stat, payload = future.result()
                     except BrokenExecutor:
                         broken = True
                         self.queue.append(shard)
                     except Exception as exc:
                         self._failure(shard, exc)
                     else:
-                        self._commit(pairs, stat)
+                        self._commit(pairs, stat, payload)
                 if broken:
                     pool.shutdown(wait=False, cancel_futures=True)
                     self.pool_rebuilds += 1
+                    self.tracer.count("pool-rebuild")
+                    self.tracer.instant("pool-rebuild", n=self.pool_rebuilds)
                     if self.pool_rebuilds > self.engine.max_pool_rebuilds:
                         if not self.engine.serial_fallback:
                             raise CampaignAbortedError(
@@ -442,6 +492,8 @@ class _Supervisor:
     def _degrade(self) -> None:
         """Multiprocessing unavailable or unreliable: finish in-process."""
         self.degraded = True
+        self.tracer.count("serial-degrade")
+        self.tracer.instant("serial-degrade")
         self._run_serial()
 
     # -- shared bookkeeping ------------------------------------------------
@@ -450,7 +502,15 @@ class _Supervisor:
         self,
         pairs: list[tuple[int, InjectionResult]],
         stat: tuple[int, int, int, float],
+        payload: dict | None = None,
     ) -> None:
+        if payload is not None:
+            # Re-base the shard's events to where the shard actually ran
+            # on the parent timeline: it finished "now" and lasted
+            # stat[3] seconds.
+            self.tracer.absorb(
+                payload, offset=max(0.0, self.tracer.now() - stat[3])
+            )
         # Journal first: the shard is durable before its results count.
         if self.journal is not None:
             self.journal.record_shard(
@@ -460,6 +520,9 @@ class _Supervisor:
         self.shard_sizes.append(len(pairs))
         self.shard_stats.append(stat)
         self.timeouts += sum(1 for _, result in pairs if result.timed_out)
+        on_progress = self.engine.on_progress
+        if on_progress is not None:
+            on_progress(self.done_base + len(self.pairs), self.total)
 
     def _failure(self, shard: list[tuple[int, InjectionPlan]], exc: Exception) -> None:
         key = tuple(idx for idx, _ in shard)
@@ -467,6 +530,11 @@ class _Supervisor:
         self.attempts[key] = count
         if count <= self.engine.max_retries:
             self.retries += 1
+            self.tracer.count("retry")
+            self.tracer.instant(
+                "retry", plans=len(shard), attempt=count,
+                error=type(exc).__name__,
+            )
             backoff = self.engine.retry_backoff
             if backoff > 0:
                 sleep(
@@ -480,11 +548,17 @@ class _Supervisor:
             # Bisect: isolate the poison plan instead of discarding the
             # healthy majority of the shard alongside it.
             mid = len(shard) // 2
+            self.tracer.count("bisect")
+            self.tracer.instant("bisect", plans=len(shard))
             self.queue.append(shard[:mid])
             self.queue.append(shard[mid:])
         else:
             ((index, plan),) = shard
             self.quarantined.append(index)
+            self.tracer.count("quarantine")
+            self.tracer.instant(
+                "quarantine", index=index, error=type(exc).__name__
+            )
             if self.journal is not None:
                 self.journal.record_quarantine(index, plan, repr(exc), count)
 
@@ -527,37 +601,64 @@ class CampaignEngine:
     identical :class:`CampaignResult`; the engine only changes how fast
     it arrives and what it survives.  The last run's :class:`EngineStats`
     is kept on :attr:`stats`.
+
+    All knobs live in one :class:`~repro.faultinject.campaign.CampaignConfig`
+    (``config=``); the loose per-knob kwargs are the deprecated
+    pre-config spelling and override it when passed.  With telemetry
+    enabled the last run's aggregated
+    :class:`~repro.telemetry.TelemetryReport` is kept on
+    :attr:`telemetry`; :attr:`on_progress` optionally receives
+    ``(done, total)`` after every committed shard.
     """
 
     def __init__(
         self,
-        jobs: int | None = 1,
-        ladder_interval: int | None = None,
-        keep_results: bool = False,
+        jobs: int | None | _Unset = _UNSET,
+        ladder_interval: int | None | _Unset = _UNSET,
+        keep_results: bool | _Unset = _UNSET,
         *,
-        shard_size: int | None = None,
-        max_retries: int = 2,
-        retry_backoff: float = 0.1,
-        retry_backoff_cap: float = 2.0,
-        max_pool_rebuilds: int = 2,
-        serial_fallback: bool = True,
-        wall_clock_limit: float | None = None,
-        backend: str | None = None,
+        shard_size: int | None | _Unset = _UNSET,
+        max_retries: int | _Unset = _UNSET,
+        retry_backoff: float | _Unset = _UNSET,
+        retry_backoff_cap: float | _Unset = _UNSET,
+        max_pool_rebuilds: int | _Unset = _UNSET,
+        serial_fallback: bool | _Unset = _UNSET,
+        wall_clock_limit: float | None | _Unset = _UNSET,
+        backend: str | None | _Unset = _UNSET,
+        config: CampaignConfig | None = None,
     ):
-        self.jobs = (os.cpu_count() or 1) if jobs is None else max(1, jobs)
-        self.ladder_interval = ladder_interval
-        self.keep_results = keep_results
-        self.backend = backend
-        if shard_size is not None and shard_size < 1:
-            raise ValueError("shard_size must be >= 1")
-        self.shard_size = shard_size
-        self.max_retries = max(0, max_retries)
-        self.retry_backoff = max(0.0, retry_backoff)
-        self.retry_backoff_cap = max(0.0, retry_backoff_cap)
-        self.max_pool_rebuilds = max(0, max_pool_rebuilds)
-        self.serial_fallback = serial_fallback
-        self.wall_clock_limit = wall_clock_limit
+        cfg = _with_legacy(
+            config,
+            "CampaignEngine",
+            jobs=jobs,
+            ladder_interval=ladder_interval,
+            keep_results=keep_results,
+            shard_size=shard_size,
+            max_retries=max_retries,
+            retry_backoff=retry_backoff,
+            retry_backoff_cap=retry_backoff_cap,
+            max_pool_rebuilds=max_pool_rebuilds,
+            serial_fallback=serial_fallback,
+            wall_clock_limit=wall_clock_limit,
+            backend=backend,
+        )
+        self.campaign_config = cfg
+        self.jobs = (
+            (os.cpu_count() or 1) if cfg.jobs is None else max(1, cfg.jobs)
+        )
+        self.ladder_interval = cfg.ladder_interval
+        self.keep_results = cfg.keep_results
+        self.backend = cfg.backend
+        self.shard_size = cfg.shard_size
+        self.max_retries = max(0, cfg.max_retries)
+        self.retry_backoff = max(0.0, cfg.retry_backoff)
+        self.retry_backoff_cap = max(0.0, cfg.retry_backoff_cap)
+        self.max_pool_rebuilds = max(0, cfg.max_pool_rebuilds)
+        self.serial_fallback = cfg.serial_fallback
+        self.wall_clock_limit = cfg.wall_clock_limit
         self.stats: EngineStats | None = None
+        self.telemetry: TelemetryReport | None = None
+        self.on_progress = None  # optional callable(done, total)
 
     def _shard_count(self, pending: int, jobs: int, journaling: bool) -> int:
         if self.shard_size is not None:
@@ -585,18 +686,31 @@ class CampaignEngine:
         ``resume`` loads an existing one, verifies it belongs to this
         exact campaign, skips already-journaled plans, and appends new
         shards to the same file.  Either way the returned result is
-        bit-identical to an uninterrupted run with the same seed.
+        bit-identical to an uninterrupted run with the same seed.  Both
+        default to the engine's :class:`CampaignConfig` values.
         """
+        cfg = self.campaign_config
+        tracer = (
+            Tracer(tid="engine", probe_interval=cfg.probe_interval)
+            if cfg.telemetry_enabled
+            else NULL_TRACER
+        )
+        self.telemetry = None
+        t0 = perf_counter()
+        if journal is None:
+            journal = cfg.journal
+        if resume is None:
+            resume = cfg.resume
         if plans is None:
             rng = np.random.default_rng(seed)
-            plans = plan_injections(rng, app.golden.instret, n)
+            with tracer.span("plan"):
+                plans = plan_injections(rng, app.golden.instret, n)
         elif len(plans) != n:
             raise ValueError("len(plans) must equal n")
         if journal is not None and resume is not None:
             raise ValueError(
                 "pass either journal= (fresh) or resume= (existing), not both"
             )
-        t0 = perf_counter()
 
         config_name = config.name if config is not None else "baseline"
         journal_obj: CampaignJournal | None = None
@@ -610,6 +724,8 @@ class CampaignEngine:
                 journal,
                 JournalHeader.for_campaign(app.name, config_name, n, seed, plans),
             )
+        if journal_obj is not None:
+            journal_obj.tracer = tracer
 
         settled = (
             journal_obj.settled_indices if journal_obj is not None else frozenset()
@@ -623,11 +739,16 @@ class CampaignEngine:
             if journal_obj is not None
             else []
         )
+        if resume is not None:
+            tracer.instant(
+                "journal-resume", settled=len(settled), pending=len(indexed)
+            )
 
         use_ladder = self.ladder_interval != NO_LADDER
         # Building (or fetching) the ladder in the parent warms the
         # per-source cache, which fork-based workers inherit for free.
-        ladder = app.ladder(self.ladder_interval) if use_ladder else None
+        with tracer.span("ladder"):
+            ladder = app.ladder(self.ladder_interval) if use_ladder else None
 
         jobs = max(1, min(self.jobs, len(indexed))) if indexed else 1
         spec = _app_spec(app) if jobs > 1 else None
@@ -642,27 +763,34 @@ class CampaignEngine:
             spec=spec,
             jobs=jobs,
             journal=journal_obj,
+            tracer=tracer,
+            telemetry=tracer.enabled,
+            probe_interval=cfg.probe_interval,
+            total=n,
+            done_base=len(settled),
         )
         if indexed:
             shards = _split(
                 indexed,
                 self._shard_count(len(indexed), jobs, journal_obj is not None),
             )
-            supervisor.run(shards)
+            with tracer.span("execute"):
+                supervisor.run(shards)
 
-        all_pairs = dict(resumed_pairs)
-        all_pairs.update(supervisor.pairs)
-        ordered = [all_pairs[idx] for idx in sorted(all_pairs)]
-        counts: Counter = Counter()
-        for result in ordered:
-            counts[result.outcome] += 1
-        merged = CampaignResult(
-            app_name=app.name,
-            config_name=config_name,
-            n=len(ordered),
-            counts=dict(counts),
-            results=list(ordered) if self.keep_results else [],
-        )
+        with tracer.span("merge"):
+            all_pairs = dict(resumed_pairs)
+            all_pairs.update(supervisor.pairs)
+            ordered = [all_pairs[idx] for idx in sorted(all_pairs)]
+            counts: Counter = Counter()
+            for result in ordered:
+                counts[result.outcome] += 1
+            merged = CampaignResult(
+                app_name=app.name,
+                config_name=config_name,
+                n=len(ordered),
+                counts=dict(counts),
+                results=list(ordered) if self.keep_results else [],
+            )
 
         elapsed = perf_counter() - t0
         self.stats = EngineStats(
@@ -683,6 +811,28 @@ class CampaignEngine:
             timeouts=supervisor.timeouts,
             quarantined=tuple(sorted(prior_quarantine + supervisor.quarantined)),
         )
+        if tracer.enabled:
+            self.telemetry = TelemetryReport.from_tracer(
+                tracer, wall_seconds=elapsed
+            )
+            meta = {
+                "app": app.name,
+                "config": config_name,
+                "n": n,
+                "seed": seed,
+                "jobs": jobs,
+                "wall_seconds": elapsed,
+            }
+            if cfg.trace is not None:
+                write_jsonl(
+                    cfg.trace, tracer.records(),
+                    counters=tracer.counters, meta=meta,
+                )
+            if cfg.chrome_trace is not None:
+                write_chrome_trace(
+                    cfg.chrome_trace, tracer.records(),
+                    process_name=f"{app.name} under {config_name}",
+                )
         return merged
 
 
@@ -692,19 +842,27 @@ def run_campaign_engine(
     seed: int,
     config: LetGoConfig | None = None,
     *,
-    jobs: int | None = 1,
-    ladder_interval: int | None = None,
-    keep_results: bool = False,
+    jobs: int | None | _Unset = _UNSET,
+    ladder_interval: int | None | _Unset = _UNSET,
+    keep_results: bool | _Unset = _UNSET,
     plans: list[InjectionPlan] | None = None,
-    backend: str | None = None,
+    backend: str | None | _Unset = _UNSET,
+    campaign: CampaignConfig | None = None,
 ) -> CampaignResult:
-    """One-shot convenience wrapper around :class:`CampaignEngine`."""
-    engine = CampaignEngine(
+    """One-shot convenience wrapper around :class:`CampaignEngine`.
+
+    ``campaign`` supplies the :class:`CampaignConfig`; the loose kwargs
+    are the deprecated spelling and override it when passed.
+    """
+    cfg = _with_legacy(
+        campaign,
+        "run_campaign_engine",
         jobs=jobs,
         ladder_interval=ladder_interval,
         keep_results=keep_results,
         backend=backend,
     )
+    engine = CampaignEngine(config=cfg)
     return engine.run(app, n, seed, config, plans=plans)
 
 

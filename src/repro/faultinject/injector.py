@@ -36,6 +36,7 @@ from repro.machine.debugger import (
     StopEvent,
 )
 from repro.machine.signals import Signal
+from repro.telemetry.tracer import NULL_TRACER
 
 
 @dataclass
@@ -52,8 +53,29 @@ class InjectionResult:
     timed_out: bool = False             # wall-clock watchdog expired
 
 
+def _probed_steps(
+    session: DebugSession, steps: int, tracer
+) -> StopEvent:
+    """``session.run_steps(steps)`` in instret buckets, emitting progress.
+
+    One ``progress`` instant per :attr:`Tracer.probe_interval` retired
+    instructions -- the golden-prefix heartbeat a stalled worker shows in
+    its trace.  Chunking through the exact-budget ``run_steps`` contract
+    leaves the architectural outcome identical on both backends.
+    """
+    cpu = session.process.cpu
+    interval = tracer.probe_interval
+    remaining = steps
+    while True:
+        event = session.run_steps(min(interval, remaining))
+        tracer.instant("progress", instret=cpu.instret)
+        remaining -= event.steps
+        if event.kind != STOP_STEPS_DONE or remaining <= 0:
+            return event
+
+
 def _advance_and_flip(
-    session: DebugSession, plan: InjectionPlan
+    session: DebugSession, plan: InjectionPlan, tracer=NULL_TRACER
 ) -> tuple[int, tuple[str, int]] | None:
     """Run to the injection point and apply the flip.
 
@@ -72,7 +94,10 @@ def _advance_and_flip(
             f"(instret={cpu.instret}, dyn_index={plan.dyn_index})"
         )
     if remaining > 0:
-        event = session.run_steps(remaining)
+        if tracer.probe_interval > 0:
+            event = _probed_steps(session, remaining, tracer)
+        else:
+            event = session.run_steps(remaining)
         if event.kind == STOP_EXITED:
             return None
         if event.kind != STOP_STEPS_DONE:
@@ -136,6 +161,7 @@ def run_injection(
     session: DebugSession | None = None,
     wall_clock_limit: float | None = None,
     backend: str | None = None,
+    tracer=None,
 ) -> InjectionResult:
     """Execute one injection run; ``config=None`` is the no-LetGo baseline.
 
@@ -150,7 +176,13 @@ def run_injection(
 
     ``backend`` picks the execution engine for the freshly loaded process
     (ignored when *session* is supplied); outcomes are backend-invariant.
+
+    ``tracer`` (a :class:`repro.telemetry.Tracer`) times the run's phases
+    (``advance-to-site``, ``post-fault``, ``repair``, ``acceptance-check``)
+    and tallies outcome / first-signal counters; the default null tracer
+    costs nothing and never alters the result.
     """
+    tracer = tracer if tracer is not None else NULL_TRACER
     deadline = (
         perf_counter() + wall_clock_limit
         if wall_clock_limit is not None
@@ -159,23 +191,34 @@ def run_injection(
     if session is None:
         session = DebugSession(app.load(backend))
     process = session.process
-    placed = _advance_and_flip(session, plan)
+    with tracer.span("advance-to-site"):
+        placed = _advance_and_flip(session, plan, tracer)
     if placed is None:
-        return InjectionResult(
+        result = InjectionResult(
             outcome=Outcome.NOT_INJECTED,
             plan=plan,
             steps=process.cpu.instret,
         )
-    target_pc, target_reg = placed
-    budget = max(app.max_steps - process.cpu.instret, 1)
-
-    if config is None:
-        return _finish_baseline(
-            app, session, plan, target_pc, target_reg, budget, deadline
-        )
-    return _finish_letgo(
-        app, session, plan, target_pc, target_reg, budget, config, deadline
-    )
+    else:
+        target_pc, target_reg = placed
+        tracer.instant("flip", pc=target_pc, reg=target_reg[0])
+        budget = max(app.max_steps - process.cpu.instret, 1)
+        if config is None:
+            result = _finish_baseline(
+                app, session, plan, target_pc, target_reg, budget, deadline,
+                tracer,
+            )
+        else:
+            result = _finish_letgo(
+                app, session, plan, target_pc, target_reg, budget, config,
+                deadline, tracer,
+            )
+    tracer.count(f"outcome:{result.outcome.value}")
+    if result.timed_out:
+        tracer.count("timeout")
+    if result.first_signal is not None:
+        tracer.count(f"first-signal:{result.first_signal.name}")
+    return result
 
 
 def _finish_baseline(
@@ -186,9 +229,11 @@ def _finish_baseline(
     target_reg: tuple[str, int],
     budget: int,
     deadline: float | None = None,
+    tracer=NULL_TRACER,
 ) -> InjectionResult:
     process = session.process
-    event, timed_out = _cont_watchdog(session, budget, deadline)
+    with tracer.span("post-fault"):
+        event, timed_out = _cont_watchdog(session, budget, deadline)
     if event.kind == STOP_TRAP:
         assert event.trap is not None
         session.deliver_default(event.trap)
@@ -196,11 +241,12 @@ def _finish_baseline(
         signal: Signal | None = event.trap.signal
     elif event.kind == STOP_EXITED:
         output = list(process.output)
-        outcome = classify_finished(
-            passed_check=app.acceptance_check(output),
-            matches_golden=app.matches_golden(output),
-            continued=False,
-        )
+        with tracer.span("acceptance-check"):
+            outcome = classify_finished(
+                passed_check=app.acceptance_check(output),
+                matches_golden=app.matches_golden(output),
+                continued=False,
+            )
         signal = None
     else:
         outcome = Outcome.HANG
@@ -225,18 +271,21 @@ def _finish_letgo(
     budget: int,
     config: LetGoConfig,
     deadline: float | None = None,
+    tracer=NULL_TRACER,
 ) -> InjectionResult:
     process = session.process
-    report = LetGoSession(config, app.functions).run(
-        process, budget, deadline=deadline
-    )
+    with tracer.span("post-fault"):
+        report = LetGoSession(config, app.functions).run(
+            process, budget, deadline=deadline, tracer=tracer
+        )
     if report.status == COMPLETED:
         output = list(process.output)
-        outcome = classify_finished(
-            passed_check=app.acceptance_check(output),
-            matches_golden=app.matches_golden(output),
-            continued=report.intervened,
-        )
+        with tracer.span("acceptance-check"):
+            outcome = classify_finished(
+                passed_check=app.acceptance_check(output),
+                matches_golden=app.matches_golden(output),
+                continued=report.intervened,
+            )
     elif report.status == HUNG:
         outcome = Outcome.C_HANG if report.intervened else Outcome.HANG
     elif report.intervened:

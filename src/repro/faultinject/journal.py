@@ -49,6 +49,7 @@ from repro.faultinject.persistence import (
     result_from_dict,
     result_to_dict,
 )
+from repro.telemetry.tracer import NULL_TRACER
 
 #: Format version written into every journal.
 JOURNAL_FORMAT = 1
@@ -124,6 +125,9 @@ class CampaignJournal:
     def __init__(self, path: str | Path, header: JournalHeader):
         self.path = Path(path)
         self.header = header
+        #: Telemetry sink for append events; the engine swaps in its own
+        #: tracer so durable-write latency shows up in the phase table.
+        self.tracer = NULL_TRACER
         self._shards: list[tuple[tuple[int, ...], list[InjectionResult]]] = []
         self._quarantined: list[QuarantineRecord] = []
         self._seen: set[int] = set()
@@ -209,7 +213,8 @@ class CampaignJournal:
     ) -> None:
         """Durably journal one completed shard."""
         self._admit_shard(list(indices), list(results))
-        self._flush()
+        with self.tracer.span("journal-append"):
+            self._flush()
 
     def record_quarantine(
         self, index: int, plan: InjectionPlan, error: str, attempts: int
@@ -218,7 +223,8 @@ class CampaignJournal:
         self._admit_quarantine(
             QuarantineRecord(index=index, plan=plan, error=error, attempts=attempts)
         )
-        self._flush()
+        with self.tracer.span("journal-append"):
+            self._flush()
 
     def _claim(self, indices: Iterable[int]) -> None:
         for index in indices:

@@ -1,0 +1,56 @@
+"""Structured campaign telemetry: tracing, metrics, and trace export.
+
+The paper's evaluation is an exercise in measuring what happens inside
+thousands of injection runs; this package gives the reproduction the same
+fine-grained accounting for itself.  A :class:`Tracer` records typed spans
+(phase timings), counters (outcome / heuristic / signal tallies) and
+gauges (queue depth) into a ring buffer with monotonic timestamps; a
+:class:`TelemetryReport` aggregates one or many tracers into per-phase
+statistics; :mod:`repro.telemetry.export` renders the raw event stream as
+a JSON-lines trace file or a Chrome ``trace_event`` view.
+
+Design contract (see docs/ARCHITECTURE.md, "Observability"):
+
+* **Near-zero cost when disabled.**  Code instruments itself against
+  :data:`NULL_TRACER`, whose methods are allocation-free no-ops; the CPU
+  hot loops are never touched.
+* **Picklable flushes.**  Worker processes drain their tracer per shard
+  through :meth:`Tracer.export` (plain dicts/lists), and the parent
+  merges the payloads with :meth:`Tracer.absorb`.
+* **Deterministic aggregation.**  Counter sums and injection-phase counts
+  depend only on the campaign's plans, never on sharding or wall-clock,
+  so the same seed yields the same :meth:`TelemetryReport.signature`
+  whether a campaign ran on 1 worker or 8.
+"""
+
+from repro.telemetry.export import (
+    chrome_trace,
+    read_jsonl,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.telemetry.report import (
+    INJECTION_PHASES,
+    PhaseStat,
+    TelemetryReport,
+)
+from repro.telemetry.tracer import (
+    DEFAULT_CAPACITY,
+    NULL_TRACER,
+    NullTracer,
+    Tracer,
+)
+
+__all__ = [
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "DEFAULT_CAPACITY",
+    "TelemetryReport",
+    "PhaseStat",
+    "INJECTION_PHASES",
+    "write_jsonl",
+    "read_jsonl",
+    "chrome_trace",
+    "write_chrome_trace",
+]

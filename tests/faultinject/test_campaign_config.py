@@ -1,0 +1,187 @@
+"""CampaignConfig: CLI parity, the deprecation shim, validation.
+
+The api_redesign contract: one frozen config object is the single source
+of truth for every campaign knob, the CLI derives its flags from the
+dataclass fields (so the two surfaces cannot drift), and every old loose
+keyword keeps working behind a :class:`DeprecationWarning`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+
+import pytest
+
+from repro.cli import build_parser
+from repro.faultinject import (
+    CampaignConfig,
+    CampaignEngine,
+    add_campaign_arguments,
+    campaign_config_from_args,
+    run_campaign,
+    run_campaign_engine,
+    run_paired_campaigns,
+)
+
+FIELD_NAMES = {spec.name for spec in dataclasses.fields(CampaignConfig)}
+
+
+def _campaign_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="test")
+    add_campaign_arguments(parser)
+    return parser
+
+
+# -- CLI parity --------------------------------------------------------------
+
+
+def test_every_config_field_has_a_flag_and_vice_versa():
+    parser = _campaign_parser()
+    dests = {
+        action.dest
+        for action in parser._actions
+        if action.dest != "help"
+    }
+    assert dests == FIELD_NAMES  # both directions at once
+
+
+def test_cli_campaign_subcommand_exposes_all_config_fields():
+    parser = build_parser()
+    args = parser.parse_args(["campaign", "--app", "pennant"])
+    for name in FIELD_NAMES:
+        assert hasattr(args, name), f"campaign subcommand lost --{name}"
+
+
+def test_parsed_defaults_round_trip_into_a_config():
+    args = _campaign_parser().parse_args([])
+    cfg = campaign_config_from_args(args)
+    # jobs is the one deliberate CLI-vs-API divergence: the CLI defaults
+    # to all cores (None), the library to serial determinism (1).
+    assert cfg.jobs is None
+    assert dataclasses.replace(cfg, jobs=1) == CampaignConfig()
+
+
+def test_flags_parse_types_and_groups():
+    parser = _campaign_parser()
+    args = parser.parse_args(
+        [
+            "--jobs", "3",
+            "--ladder-interval", "0",
+            "--wall-clock-limit", "1.5",
+            "--keep-results",
+            "--no-serial-fallback",
+            "--telemetry",
+            "--trace", "t.jsonl",
+            "--probe-interval", "100",
+            "--journal", "j.path",
+        ]
+    )
+    cfg = campaign_config_from_args(args)
+    assert cfg.jobs == 3
+    assert cfg.ladder_interval == 0
+    assert cfg.wall_clock_limit == 1.5
+    assert cfg.keep_results is True
+    assert cfg.serial_fallback is False
+    assert cfg.telemetry is True and cfg.trace == "t.jsonl"
+    assert cfg.probe_interval == 100
+    assert cfg.journal == "j.path" and cfg.resume is None
+
+
+def test_journal_and_resume_flags_are_mutually_exclusive():
+    parser = _campaign_parser()
+    with pytest.raises(SystemExit):
+        parser.parse_args(["--journal", "a", "--resume", "b"])
+
+
+def test_negative_ladder_interval_rejected_at_parse_time():
+    parser = _campaign_parser()
+    with pytest.raises(SystemExit):
+        parser.parse_args(["--ladder-interval", "-1"])
+
+
+def test_every_field_has_help_text():
+    for spec in dataclasses.fields(CampaignConfig):
+        assert spec.metadata.get("help"), f"{spec.name} has no help metadata"
+
+
+# -- the config object -------------------------------------------------------
+
+
+def test_config_is_frozen():
+    cfg = CampaignConfig()
+    with pytest.raises(dataclasses.FrozenInstanceError):
+        cfg.jobs = 8
+
+
+def test_config_validation():
+    with pytest.raises(ValueError, match="shard_size"):
+        CampaignConfig(shard_size=0)
+    with pytest.raises(ValueError, match="probe_interval"):
+        CampaignConfig(probe_interval=-1)
+    with pytest.raises(ValueError, match="journal"):
+        CampaignConfig(journal="a", resume="b")
+
+
+def test_telemetry_enabled_implied_by_outputs():
+    assert not CampaignConfig().telemetry_enabled
+    assert CampaignConfig(telemetry=True).telemetry_enabled
+    assert CampaignConfig(trace="t.jsonl").telemetry_enabled
+    assert CampaignConfig(chrome_trace="c.json").telemetry_enabled
+    assert CampaignConfig(probe_interval=10).telemetry_enabled
+
+
+# -- the deprecation shim ----------------------------------------------------
+
+
+def test_engine_accepts_config_object_silently():
+    import warnings
+
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        engine = CampaignEngine(config=CampaignConfig(jobs=2, max_retries=0))
+    assert engine.jobs == 2 and engine.max_retries == 0
+
+
+def test_legacy_engine_kwargs_warn_and_still_work():
+    with pytest.deprecated_call(match="CampaignEngine"):
+        engine = CampaignEngine(jobs=2, shard_size=5)
+    assert engine.jobs == 2 and engine.shard_size == 5
+    assert engine.campaign_config.shard_size == 5
+
+
+def test_legacy_kwargs_override_supplied_config():
+    with pytest.deprecated_call():
+        engine = CampaignEngine(jobs=3, config=CampaignConfig(jobs=1))
+    assert engine.jobs == 3
+
+
+def test_run_campaign_legacy_kwargs_warn(pennant_app):
+    with pytest.deprecated_call(match="run_campaign"):
+        result = run_campaign(pennant_app, 2, 0, jobs=1)
+    assert result.n == 2
+
+
+def test_run_campaign_engine_legacy_kwargs_warn(pennant_app):
+    with pytest.deprecated_call(match="run_campaign_engine"):
+        result = run_campaign_engine(pennant_app, 2, 0, keep_results=True)
+    assert len(result.results) == 2
+
+
+def test_run_paired_campaigns_legacy_kwargs_warn(pennant_app):
+    with pytest.deprecated_call(match="run_paired_campaigns"):
+        out = run_paired_campaigns(pennant_app, 2, 0, [None], jobs=1)
+    assert out["baseline"].n == 2
+
+
+def test_config_spelling_matches_legacy_spelling(pennant_app):
+    import warnings
+
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        legacy = run_campaign(pennant_app, 4, 7, keep_results=True)
+    modern = run_campaign(
+        pennant_app, 4, 7, campaign=CampaignConfig(keep_results=True)
+    )
+    assert legacy.counts == modern.counts
+    assert len(legacy.results) == len(modern.results) == 4

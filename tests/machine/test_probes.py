@@ -1,0 +1,101 @@
+"""``CPU.run_probed``: instret-bucketed progress probes on both backends.
+
+The telemetry progress probe slices a budget through the public ``run``
+contract, so trap sites, retirement counts and stop reasons must be
+bit-identical to one unprobed ``run`` call -- on the interpreter and the
+compiled backend alike.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.isa import assemble
+from repro.machine.cpu import STOP_HALT, STOP_STEPS
+from repro.machine.process import Process
+from repro.machine.signals import Trap
+
+BACKENDS = ("interpreter", "compiled")
+
+FAULTY_ASM = """
+.text
+.entry main
+.func main
+main:
+    movi r1, #0
+    movi r2, #50
+loop:
+    addi r1, r1, #1
+    slt r3, r1, r2
+    bnez r3, loop
+    movi r4, #1
+    ld r5, [r4 + 0]
+    halt
+"""
+
+
+def _state(process):
+    cpu = process.cpu
+    return (cpu.pc, cpu.instret, cpu.halted, list(cpu.iregs), list(cpu.fregs))
+
+
+@pytest.fixture(scope="module")
+def demo(demo_program):
+    return demo_program
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("interval", [1, 7, 64, 10_000])
+def test_probed_run_matches_plain_run(demo, backend, interval):
+    plain = Process.load(demo, backend=backend)
+    stop_plain = plain.cpu.run(10_000)
+
+    probed = Process.load(demo, backend=backend)
+    seen: list[int] = []
+    stop_probed = probed.cpu.run_probed(10_000, seen.append, interval)
+
+    assert stop_probed == stop_plain == STOP_HALT
+    assert _state(probed) == _state(plain)
+    assert probed.output == plain.output
+    # Monotone probe trail ending at the final retirement count.
+    assert seen == sorted(seen)
+    assert seen[-1] == probed.cpu.instret
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_probed_budget_exhaustion_is_exact(demo, backend):
+    budget = 37
+    plain = Process.load(demo, backend=backend)
+    assert plain.cpu.run(budget) == STOP_STEPS
+
+    probed = Process.load(demo, backend=backend)
+    seen: list[int] = []
+    assert probed.cpu.run_probed(budget, seen.append, 10) == STOP_STEPS
+    assert _state(probed) == _state(plain)
+    assert probed.cpu.instret == budget
+    assert seen == [10, 20, 30, 37]
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_probed_trap_propagates_at_same_site(backend):
+    program = assemble(FAULTY_ASM, "probe-faulty")
+    plain = Process.load(program, backend=backend)
+    with pytest.raises(Trap) as plain_trap:
+        plain.cpu.run(10_000)
+
+    probed = Process.load(program, backend=backend)
+    seen: list[int] = []
+    with pytest.raises(Trap) as probed_trap:
+        probed.cpu.run_probed(10_000, seen.append, 16)
+
+    assert probed_trap.value.signal == plain_trap.value.signal
+    assert _state(probed) == _state(plain)
+    # The bucket the trap interrupted never completed, so no trailing probe.
+    assert all(i <= probed.cpu.instret for i in seen)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_probe_interval_must_be_positive(demo, backend):
+    process = Process.load(demo, backend=backend)
+    with pytest.raises(ValueError, match="interval"):
+        process.cpu.run_probed(10, lambda _: None, 0)

@@ -1,0 +1,120 @@
+"""Trace export: JSONL round-trip and the Chrome ``trace_event`` schema."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.telemetry import Tracer, chrome_trace, read_jsonl, write_jsonl
+from repro.telemetry.export import TRACE_FORMAT, write_chrome_trace
+
+
+def _sample_tracer() -> Tracer:
+    tracer = Tracer(tid="engine")
+    with tracer.span("execute"):
+        tracer.instant("flip", pc=64, reg="r3")
+        tracer.gauge("queue-depth", 4)
+    tracer.count("outcome:masked", 3)
+    return tracer
+
+
+# -- JSON lines --------------------------------------------------------------
+
+
+def test_jsonl_round_trip(tmp_path):
+    tracer = _sample_tracer()
+    path = tmp_path / "trace.jsonl"
+    write_jsonl(
+        path, tracer.records(), counters=tracer.counters, meta={"app": "x"}
+    )
+    meta, records = read_jsonl(path)
+    assert meta["format"] == TRACE_FORMAT
+    assert meta["app"] == "x"
+    assert meta["counters"] == {"outcome:masked": 3}
+    assert records == tracer.records()
+
+
+def test_jsonl_header_is_first_line_and_one_object_per_line(tmp_path):
+    tracer = _sample_tracer()
+    path = write_jsonl(tmp_path / "t.jsonl", tracer.records())
+    lines = path.read_text().splitlines()
+    assert json.loads(lines[0])["kind"] == "meta"
+    # Every line parses alone: the file is greppable/streamable.
+    assert all(isinstance(json.loads(line), dict) for line in lines)
+    assert len(lines) == 1 + len(tracer.records())
+
+
+def test_read_jsonl_rejects_foreign_files(tmp_path):
+    empty = tmp_path / "empty.jsonl"
+    empty.write_text("")
+    with pytest.raises(ValueError, match="empty"):
+        read_jsonl(empty)
+
+    headerless = tmp_path / "headerless.jsonl"
+    headerless.write_text('{"kind": "span"}\n')
+    with pytest.raises(ValueError, match="meta header"):
+        read_jsonl(headerless)
+
+    futuristic = tmp_path / "future.jsonl"
+    futuristic.write_text('{"kind": "meta", "format": 999}\n')
+    with pytest.raises(ValueError, match="format"):
+        read_jsonl(futuristic)
+
+
+# -- Chrome trace_event ------------------------------------------------------
+
+
+def test_chrome_trace_schema():
+    tracer = _sample_tracer()
+    doc = chrome_trace(tracer.records(), process_name="unit")
+    events = doc["traceEvents"]
+
+    meta = [e for e in events if e["ph"] == "M"]
+    assert {e["name"] for e in meta} == {"process_name", "thread_name"}
+    assert meta[0]["args"]["name"] == "unit"
+
+    (span,) = [e for e in events if e["ph"] == "X"]
+    assert span["name"] == "execute"
+    assert span["dur"] >= 0  # microseconds
+    (instant,) = [e for e in events if e["ph"] == "i"]
+    assert instant["name"] == "flip" and instant["args"] == {"pc": 64, "reg": "r3"}
+    (counter,) = [e for e in events if e["ph"] == "C"]
+    assert counter["args"] == {"queue-depth": 4.0}
+
+    # All events share pid 0 and carry integer tids with a name mapping.
+    tids = {e["args"]["name"]: e["tid"] for e in meta if e["name"] == "thread_name"}
+    assert all(e["pid"] == 0 for e in events)
+    assert span["tid"] == tids["engine"]
+
+
+def test_chrome_trace_timestamps_are_microseconds():
+    tracer = Tracer(tid="t")
+    tracer.instant("tick")
+    record = tracer.records()[0]
+    (event,) = [
+        e for e in chrome_trace(tracer.records())["traceEvents"] if e["ph"] == "i"
+    ]
+    assert event["ts"] == pytest.approx(record["ts"] * 1e6, abs=0.01)
+
+
+def test_chrome_trace_tid_mapping_is_stable_per_stream():
+    parent = Tracer(tid="engine")
+    parent.instant("a")
+    leaf = Tracer(tid="shard-00000")
+    leaf.instant("b")
+    leaf.instant("c")
+    parent.absorb(leaf.export(), offset=parent.now())
+    events = chrome_trace(parent.records())["traceEvents"]
+    shard_tids = {
+        e["tid"] for e in events if e["ph"] == "i" and e["name"] in ("b", "c")
+    }
+    assert len(shard_tids) == 1  # one track per stream label
+
+
+def test_write_chrome_trace_is_valid_json(tmp_path):
+    tracer = _sample_tracer()
+    path = write_chrome_trace(tmp_path / "chrome.json", tracer.records())
+    doc = json.loads(path.read_text())
+    assert doc["displayTimeUnit"] == "ms"
+    assert isinstance(doc["traceEvents"], list) and doc["traceEvents"]

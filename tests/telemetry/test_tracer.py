@@ -1,0 +1,124 @@
+"""Tracer unit tests: no-op contract, spans, counters, ring, merge."""
+
+from __future__ import annotations
+
+import pickle
+
+from repro.telemetry import NULL_TRACER, Tracer
+
+
+# -- disabled tracer ---------------------------------------------------------
+
+
+def test_null_tracer_is_disabled_and_inert():
+    assert NULL_TRACER.enabled is False
+    assert NULL_TRACER.probe_interval == 0
+    with NULL_TRACER.span("anything"):
+        pass
+    NULL_TRACER.count("x")
+    NULL_TRACER.instant("x", detail=1)
+    NULL_TRACER.gauge("x", 3.0)
+    assert NULL_TRACER.now() == 0.0
+
+
+def test_null_tracer_span_is_shared_singleton():
+    # The no-op span is reusable, so disabled instrumentation allocates
+    # nothing per phase.
+    assert NULL_TRACER.span("a") is NULL_TRACER.span("b")
+
+
+# -- spans -------------------------------------------------------------------
+
+
+def test_span_records_name_duration_and_nesting():
+    tracer = Tracer(tid="t")
+    with tracer.span("outer"):
+        with tracer.span("inner"):
+            pass
+    records = tracer.records()
+    # records() sorts by start timestamp, so the enclosing span leads.
+    assert [r["name"] for r in records] == ["outer", "inner"]
+    outer, inner = records
+    assert inner["depth"] == 1 and outer["depth"] == 0
+    assert 0 <= inner["dur"] <= outer["dur"]
+    assert all(r["kind"] == "span" and r["tid"] == "t" for r in records)
+
+
+def test_span_records_on_exception():
+    tracer = Tracer()
+    try:
+        with tracer.span("failing"):
+            raise RuntimeError("boom")
+    except RuntimeError:
+        pass
+    (record,) = tracer.records()
+    assert record["name"] == "failing"
+
+
+# -- counters ----------------------------------------------------------------
+
+
+def test_counters_accumulate():
+    tracer = Tracer()
+    tracer.count("hits")
+    tracer.count("hits", 4)
+    tracer.count("misses")
+    assert tracer.counters == {"hits": 5, "misses": 1}
+
+
+# -- ring buffer -------------------------------------------------------------
+
+
+def test_ring_buffer_drops_oldest_but_never_counters():
+    tracer = Tracer(capacity=3)
+    for i in range(5):
+        tracer.instant(f"e{i}")
+        tracer.count("events")
+    assert [r["name"] for r in tracer.records()] == ["e2", "e3", "e4"]
+    assert tracer.dropped == 2
+    assert tracer.counters == {"events": 5}
+
+
+# -- merge protocol ----------------------------------------------------------
+
+
+def test_export_is_picklable_and_absorb_shifts_timestamps():
+    leaf = Tracer(tid="shard-0")
+    with leaf.span("work"):
+        pass
+    leaf.count("done", 2)
+    payload = pickle.loads(pickle.dumps(leaf.export()))
+
+    parent = Tracer(tid="engine")
+    parent.count("done", 1)
+    parent.absorb(payload, offset=10.0)
+    (record,) = parent.records()
+    assert record["tid"] == "shard-0"
+    assert record["ts"] >= 10.0
+    assert parent.counters == {"done": 3}
+
+
+def test_absorb_order_does_not_change_counters():
+    payloads = []
+    for name, n in (("a", 1), ("b", 2), ("c", 3)):
+        leaf = Tracer(tid=name)
+        leaf.count("runs", n)
+        leaf.count(f"only-{name}")
+        payloads.append(leaf.export())
+
+    forward, backward = Tracer(), Tracer()
+    for p in payloads:
+        forward.absorb(p)
+    for p in reversed(payloads):
+        backward.absorb(p)
+    assert forward.counters == backward.counters
+
+
+def test_records_sorted_across_streams():
+    parent = Tracer(tid="engine")
+    parent.instant("late")
+    leaf = Tracer(tid="shard-1")
+    leaf.instant("early")
+    parent.absorb(leaf.export(), offset=-1.0)
+    names = [r["name"] for r in parent.records()]
+    assert names == ["early", "late"]
