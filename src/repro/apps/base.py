@@ -74,7 +74,9 @@ def pack_output(values: tuple | list, digits: int | None = None) -> bytes:
                     pass
             parts.append(b"f" + struct.pack("<d", value))
         else:
-            parts.append(b"i" + struct.pack("<q", value & ((1 << 64) - 1)))
+            # Mask to the two's-complement pattern first, then pack unsigned:
+            # "<q" would reject the masked form of any negative value.
+            parts.append(b"i" + struct.pack("<Q", value & ((1 << 64) - 1)))
     return b"".join(parts)
 
 

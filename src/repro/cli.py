@@ -20,6 +20,10 @@ Commands
     bit positions crash, from a fresh LetGo-E campaign.
 ``parallel [--ranks R] [--mtbf I]``
     The SPMD heat proxy under coordinated C/R, with and without LetGo.
+``fuzz [--iterations N] [--seed S] [--oracles LIST] [--findings PATH]``
+    Differential fuzzing: random ISA/MiniC programs through the
+    backend/debugger/snapshot oracles and the campaign metamorphic
+    oracles, shrinking any divergence to a minimal reproducer.
 """
 
 from __future__ import annotations
@@ -283,6 +287,137 @@ def _cmd_parallel(args: argparse.Namespace) -> int:
     return 0
 
 
+def _fuzz_progress(done: int, total: int) -> None:
+    print(f"\rfuzz: {done}/{total} cases", end="", file=sys.stderr, flush=True)
+
+
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.fuzz.corpus import iter_corpus, save_case
+    from repro.fuzz.mutations import MUTATIONS
+    from repro.fuzz.oracles import ALL_ORACLES
+    from repro.fuzz.runner import FuzzConfig, mutation_selftest, run_fuzz
+
+    if args.selftest:
+        names = [args.mutation] if args.mutation else sorted(MUTATIONS)
+        rows = []
+        ok = True
+        for name in names:
+            result = mutation_selftest(name, seed=args.seed)
+            ok = ok and result.ok
+            rows.append([
+                name,
+                "killed" if result.killed else "MISSED",
+                "-" if result.found_at is None else result.found_at,
+                "-" if result.original_len is None else result.original_len,
+                "-" if result.shrunk_len is None else result.shrunk_len,
+                "ok" if result.ok else "FAIL",
+            ])
+        print(ascii_table(
+            ["mutation", "status", "case", "len", "shrunk", "verdict"],
+            rows, title="mutation self-test (shrunk must be <= 25)",
+        ))
+        return 0 if ok else 1
+
+    if args.oracles == "all":
+        oracles = ALL_ORACLES
+    else:
+        oracles = tuple(args.oracles.split(","))
+        unknown = set(oracles) - set(ALL_ORACLES)
+        if unknown:
+            raise SystemExit(
+                f"unknown oracles {sorted(unknown)}; "
+                f"choose from {list(ALL_ORACLES)}"
+            )
+
+    replayed = 0
+    corpus_failures = 0
+    if args.corpus_dir:
+        from repro.fuzz.corpus import check_case
+
+        for name, case in iter_corpus(args.corpus_dir):
+            replayed += 1
+            for div in check_case(case):
+                corpus_failures += 1
+                print(f"corpus {name}: {div.oracle}@{div.at}: {div.detail}")
+        if replayed:
+            print(f"corpus: {replayed} cases replayed, "
+                  f"{corpus_failures} divergences")
+
+    config = FuzzConfig(
+        iterations=args.iterations,
+        lang_iterations=(
+            args.lang_iterations if args.lang_iterations is not None
+            else max(1, args.iterations // 10)
+        ),
+        seed=args.seed,
+        oracles=oracles,
+        budget=args.budget,
+        jobs=args.jobs,
+        mutation=args.mutation,
+        shrink=not args.no_shrink,
+    )
+    live = sys.stderr.isatty()
+    report = run_fuzz(config, on_progress=_fuzz_progress if live else None)
+    if live:
+        print("\r\x1b[K", end="", file=sys.stderr, flush=True)
+
+    if args.findings:
+        with open(args.findings, "w") as fh:
+            meta = {
+                "record": "meta",
+                "seed": config.seed,
+                "iterations": config.iterations,
+                "lang_iterations": config.lang_iterations,
+                "oracles": list(config.oracles),
+                "budget": config.budget,
+                "mutation": config.mutation,
+            }
+            fh.write(json.dumps(meta, sort_keys=True) + "\n")
+            for finding in report.findings:
+                record = {"record": "finding", **finding.to_dict()}
+                fh.write(json.dumps(record, sort_keys=True) + "\n")
+            summary = {
+                "record": "summary",
+                "cases": report.cases,
+                "findings": len(report.findings),
+                "coverage": report.coverage.to_dict(),
+            }
+            fh.write(json.dumps(summary, sort_keys=True) + "\n")
+        print(f"findings JSONL written to {args.findings}")
+    if args.coverage_out:
+        report.coverage.save(args.coverage_out)
+        print(f"coverage written to {args.coverage_out}")
+
+    saved = 0
+    if args.save_corpus and args.corpus_dir:
+        from pathlib import Path
+
+        for finding in report.findings:
+            if finding.case is not None:
+                path = Path(args.corpus_dir) / f"{finding.case['name']}.json"
+                save_case(path, finding.case)
+                saved += 1
+        if saved:
+            print(f"{saved} shrunk reproducers saved under {args.corpus_dir}")
+
+    cov = report.coverage.to_dict()
+    print(
+        f"fuzz: {report.cases} cases, {len(report.findings)} findings "
+        f"(seed {config.seed}); {len(cov['opcodes'])} opcodes, "
+        f"stops {cov['stops']}, outcomes {cov['outcomes']}, "
+        f"heuristics {cov['heuristics']}"
+    )
+    for finding in report.findings:
+        line = f"  {finding.kind}[{finding.index}] {finding.oracle}@{finding.at}"
+        if finding.shrunk_len is not None:
+            line += f" (shrunk {finding.original_len} -> {finding.shrunk_len})"
+        print(line)
+        print(f"    {finding.detail[:500]}")
+    return 1 if (report.findings or corpus_failures) else 0
+
+
 def _add_backend_arg(p: argparse.ArgumentParser) -> None:
     from repro.machine.compiled import BACKENDS
 
@@ -347,6 +482,40 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--ranks", type=int, default=4)
     p.add_argument("--mtbf", type=float, default=5_000.0)
     p.add_argument("--seeds", type=int, default=6)
+
+    p = sub.add_parser(
+        "fuzz", help="differential fuzzing across backends and oracles"
+    )
+    p.add_argument("--iterations", type=int, default=200,
+                   help="random ISA programs to generate")
+    p.add_argument("--lang-iterations", type=int, default=None,
+                   help="random MiniC programs (default: iterations/10)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--oracles", default="all",
+                   help="comma list: backend,debugger,snapshot,"
+                        "merge,resume,jobs (default: all)")
+    p.add_argument("--budget", type=int, default=256,
+                   help="step budget per ISA differential case")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="fuzz worker processes (findings are identical "
+                        "for any value)")
+    p.add_argument("--findings", metavar="PATH", default=None,
+                   help="write findings as JSONL")
+    p.add_argument("--coverage-out", metavar="PATH", default=None,
+                   help="write the coverage report as JSON")
+    p.add_argument("--corpus-dir", metavar="DIR", default=None,
+                   help="replay this reproducer corpus before fuzzing")
+    p.add_argument("--save-corpus", action="store_true",
+                   help="save shrunk reproducers of new findings "
+                        "into --corpus-dir")
+    p.add_argument("--mutation", default=None,
+                   help="plant a known-bad backend mutant "
+                        "(fmin-nan, halt-pc, shri-logical, segv-order)")
+    p.add_argument("--no-shrink", action="store_true",
+                   help="skip delta-debugging divergent programs")
+    p.add_argument("--selftest", action="store_true",
+                   help="verify the fuzzer kills and shrinks every "
+                        "planted mutant (<= 25 instructions)")
     return parser
 
 
@@ -359,6 +528,7 @@ _DISPATCH = {
     "simulate": _cmd_simulate,
     "sites": _cmd_sites,
     "parallel": _cmd_parallel,
+    "fuzz": _cmd_fuzz,
 }
 
 

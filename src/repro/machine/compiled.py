@@ -906,8 +906,16 @@ def default_backend() -> str:
     return os.environ.get("REPRO_BACKEND", DEFAULT_BACKEND)
 
 
-def cpu_class(backend: str | None) -> type[CPU]:
-    """Resolve a backend name (``None`` = :func:`default_backend`)."""
+def cpu_class(backend: "str | type[CPU] | None") -> type[CPU]:
+    """Resolve a backend name (``None`` = :func:`default_backend`).
+
+    A :class:`CPU` subclass passes through unchanged, so callers (the
+    fuzz harness's scratch mutants, experiments) can plug a custom
+    engine into ``Process.load`` without registering it in
+    :data:`BACKENDS`.
+    """
+    if isinstance(backend, type) and issubclass(backend, CPU):
+        return backend
     name = default_backend() if backend is None else backend
     try:
         return BACKENDS[name]

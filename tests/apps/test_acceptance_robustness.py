@@ -86,3 +86,18 @@ def test_sub_print_precision_perturbation_masked(app):
 
 def test_golden_is_not_rejected(app):
     assert app.acceptance_check(list(app.golden.output))
+
+
+def test_pack_output_handles_any_int64():
+    """Regression (found by the differential fuzzer, seed 0, lang case 50):
+    a fault-corrupted OUT can emit any int64, but pack_output packed the
+    unsigned-masked value with the signed "<q" format, so every negative
+    integer in an SDC slice crashed the golden comparison mid-campaign."""
+    from repro.apps.base import pack_output
+
+    values = [0, 1, -1, (1 << 63) - 1, -(1 << 63)]
+    packed = pack_output(values, None)
+    assert packed == pack_output(values, None)
+    # Distinct values stay distinct through the two's-complement mask.
+    assert pack_output([-1], None) != pack_output([1], None)
+    assert pack_output([-(1 << 63)], None) != pack_output([(1 << 63) - 1], None)

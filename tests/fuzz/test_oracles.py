@@ -1,0 +1,134 @@
+"""Oracle behaviour: clean programs pass, every planted mutant is caught,
+campaign metamorphic properties hold, and observations compare strictly."""
+
+import random
+
+import pytest
+
+from repro.core.config import VARIANTS
+from repro.fuzz.app import FuzzAppA, LangApp
+from repro.fuzz.generator import gen_isa_program, gen_lang_source, gen_segments
+from repro.fuzz.mutations import MUTATIONS
+from repro.fuzz.observe import observe
+from repro.fuzz.oracles import (
+    check_backends,
+    check_jobs,
+    check_merge,
+    check_program,
+    check_resume,
+)
+from repro.isa.instructions import Instr, Op
+from repro.isa.layout import DATA_BASE
+from repro.isa.program import DataSymbol, Program
+from repro.machine.process import Process
+
+pytestmark = pytest.mark.fuzz
+
+
+def _program(instrs, cells=0, data_init=None):
+    symbols = {"g": DataSymbol("g", DATA_BASE, cells)} if cells else {}
+    return Program(
+        instrs=instrs, functions={"main": 0}, data_symbols=symbols,
+        data_init=data_init or {}, source_name="test",
+    )
+
+
+# -- differential oracles on clean programs ----------------------------------
+
+
+def test_clean_programs_have_no_divergence():
+    for i in range(30):
+        rng = random.Random(f"oracle-clean:{i}")
+        program = gen_isa_program(rng)
+        assert check_program(
+            program, budget=128, segments=gen_segments(rng, 128),
+            cut=rng.randint(1, 127), breakpoints=[2, 5],
+        ) == []
+
+
+def test_lang_program_passes_all_oracles():
+    source = gen_lang_source(random.Random("oracle-lang:1"))
+    app = LangApp(source)
+    budget = app.golden.instret + 16
+    assert check_program(app.program, budget=budget, cut=budget // 3) == []
+
+
+# -- every mutant must be caught by a targeted trigger ------------------------
+
+#: mutation name -> a minimal program exercising exactly its fault.
+_TRIGGERS = {
+    "fmin-nan": _program([
+        Instr(Op.FMOVI, rd=0, imm=float("nan")),
+        Instr(Op.FMOVI, rd=1, imm=1.5),
+        Instr(Op.FMIN, rd=2, ra=0, rb=1),
+        Instr(Op.HALT),
+    ]),
+    "halt-pc": _program([Instr(Op.HALT)]),
+    "shri-logical": _program([
+        Instr(Op.MOVI, rd=1, imm=-8),
+        Instr(Op.SHRI, rd=2, ra=1, imm=1),
+        Instr(Op.HALT),
+    ]),
+    "segv-order": _program([
+        Instr(Op.MOVI, rd=1, imm=3),
+        Instr(Op.LD, rd=2, ra=1),
+        Instr(Op.HALT),
+    ]),
+}
+
+
+@pytest.mark.parametrize("mutation", sorted(MUTATIONS))
+def test_mutant_is_caught(mutation):
+    program = _TRIGGERS[mutation]
+    divergences = check_backends(
+        program, segments=[16], a="interpreter", b=MUTATIONS[mutation]
+    )
+    assert divergences, f"{mutation} mutant survived its trigger program"
+    # ...and the fixed substrate passes the same trigger.
+    assert check_program(program, budget=16) == []
+
+
+# -- observation strictness ---------------------------------------------------
+
+
+def test_observation_compares_float_bit_patterns():
+    neg = _program([Instr(Op.FMOVI, rd=0, imm=-0.0), Instr(Op.HALT)])
+    pos = _program([Instr(Op.FMOVI, rd=0, imm=0.0), Instr(Op.HALT)])
+    pa, pb = Process.load(neg), Process.load(pos)
+    pa.run(4)
+    pb.run(4)
+    diff = observe(pa).diff(observe(pb))
+    assert diff is not None and diff.startswith("fregs")
+
+
+def test_observation_ignores_exit_code_until_halted():
+    program = _program([
+        Instr(Op.MOVI, rd=0, imm=42),
+        Instr(Op.NOP),
+        Instr(Op.HALT),
+    ])
+    process = Process.load(program)
+    process.run(1)
+    assert observe(process).exit_code is None
+    process.run(16)
+    assert observe(process).exit_code == 42
+
+
+# -- campaign metamorphic oracles ---------------------------------------------
+
+
+def test_merge_oracle_holds():
+    app = LangApp(gen_lang_source(random.Random("oracle-merge:0")))
+    assert check_merge(app, 6, 11, VARIANTS["LetGo-E"], split=2) == []
+    assert check_merge(app, 5, 12, None, split=3) == []
+
+
+def test_resume_oracle_holds(tmp_path):
+    app = LangApp(gen_lang_source(random.Random("oracle-resume:0")))
+    assert check_resume(
+        app, 5, 13, VARIANTS["LetGo-E"], prefix=2, workdir=tmp_path
+    ) == []
+
+
+def test_jobs_oracle_holds():
+    assert check_jobs(FuzzAppA(), 5, 14, VARIANTS["LetGo-E"], jobs=2) == []
